@@ -1,0 +1,130 @@
+//! Synthetic noisy inputs: deterministic salt-and-pepper corruption over
+//! the standard test pattern, standing in for real sensor data when
+//! exercising the denoising pipelines.
+
+use bp_core::{Dim2, KernelDef};
+use bp_kernels::{frame_source, PixelGen};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A pregenerated salt-and-pepper corruption plan: for each frame in a
+/// repeating period, the set of corrupted pixels and their impulse values.
+#[derive(Clone)]
+pub struct NoisePlan {
+    dim: Dim2,
+    period: u32,
+    /// `impulses[frame][y * w + x]`: `None` = clean, `Some(v)` = impulse.
+    impulses: Arc<Vec<Vec<Option<f64>>>>,
+}
+
+impl NoisePlan {
+    /// Generate a plan: each pixel of each frame in the period is corrupted
+    /// with probability `density`, half to `lo` ("pepper"), half to `hi`
+    /// ("salt"). Deterministic in `seed`.
+    pub fn salt_and_pepper(dim: Dim2, period: u32, density: f64, lo: f64, hi: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&density));
+        assert!(period >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let area = dim.area() as usize;
+        let impulses = (0..period)
+            .map(|_| {
+                (0..area)
+                    .map(|_| {
+                        if rng.gen::<f64>() < density {
+                            Some(if rng.gen::<bool>() { hi } else { lo })
+                        } else {
+                            None
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Self {
+            dim,
+            period,
+            impulses: Arc::new(impulses),
+        }
+    }
+
+    /// The impulse (if any) applied at `(frame, x, y)`.
+    pub fn impulse_at(&self, frame: u32, x: u32, y: u32) -> Option<f64> {
+        self.impulses[(frame % self.period) as usize][(y * self.dim.w + x) as usize]
+    }
+
+    /// Number of corrupted pixels in the given frame.
+    pub fn impulse_count(&self, frame: u32) -> usize {
+        self.impulses[(frame % self.period) as usize]
+            .iter()
+            .flatten()
+            .count()
+    }
+
+    /// The corrupted pixel value at `(frame, x, y)`: the clean pattern with
+    /// impulses applied.
+    pub fn pixel(&self, frame: u32, x: u32, y: u32) -> f64 {
+        self.impulse_at(frame, x, y)
+            .unwrap_or_else(|| crate::reference::pattern_pixel(frame, x, y))
+    }
+
+    /// The full corrupted frame as an image.
+    pub fn frame(&self, frame: u32) -> crate::reference::Image {
+        (0..self.dim.h)
+            .map(|y| (0..self.dim.w).map(|x| self.pixel(frame, x, y)).collect())
+            .collect()
+    }
+
+    /// A frame source emitting the corrupted pattern.
+    pub fn source(&self) -> KernelDef {
+        let plan = self.clone();
+        let gen: PixelGen = Arc::new(move |f, x, y| plan.pixel(f, x, y));
+        frame_source(self.dim, gen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_deterministic_in_seed() {
+        let dim = Dim2::new(10, 8);
+        let a = NoisePlan::salt_and_pepper(dim, 3, 0.1, 0.0, 255.0, 42);
+        let b = NoisePlan::salt_and_pepper(dim, 3, 0.1, 0.0, 255.0, 42);
+        for f in 0..3 {
+            assert_eq!(a.frame(f), b.frame(f));
+        }
+        let c = NoisePlan::salt_and_pepper(dim, 3, 0.1, 0.0, 255.0, 43);
+        assert_ne!(a.frame(0), c.frame(0));
+    }
+
+    #[test]
+    fn density_controls_corruption_rate() {
+        let dim = Dim2::new(40, 40);
+        let plan = NoisePlan::salt_and_pepper(dim, 1, 0.1, 0.0, 255.0, 7);
+        let count = plan.impulse_count(0);
+        // 10% of 1600 = 160; allow generous sampling slack.
+        assert!((80..=240).contains(&count), "count {count}");
+        let clean = NoisePlan::salt_and_pepper(dim, 1, 0.0, 0.0, 255.0, 7);
+        assert_eq!(clean.impulse_count(0), 0);
+    }
+
+    #[test]
+    fn period_repeats() {
+        let dim = Dim2::new(6, 6);
+        let plan = NoisePlan::salt_and_pepper(dim, 2, 0.2, -1.0, 1.0, 9);
+        assert_eq!(plan.impulse_count(0), plan.impulse_count(2));
+        assert_eq!(plan.impulse_at(1, 3, 3), plan.impulse_at(3, 3, 3));
+    }
+
+    #[test]
+    fn clean_pixels_match_pattern() {
+        let dim = Dim2::new(6, 6);
+        let plan = NoisePlan::salt_and_pepper(dim, 1, 0.0, 0.0, 255.0, 1);
+        for y in 0..6 {
+            for x in 0..6 {
+                assert_eq!(plan.pixel(0, x, y), crate::reference::pattern_pixel(0, x, y));
+            }
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Golden reference models: direct array implementations of the paper's
+//! kernels, used to verify that compiled (buffered, aligned, parallelized)
+//! graphs produce bit-identical results.
+
+/// A simple dense image: rows of samples.
+pub type Image = Vec<Vec<f64>>;
+
+/// The deterministic synthetic test pattern shared by the applications and
+/// these references (same formula as `bp_kernels::pattern_source`).
+pub fn pattern_pixel(frame: u32, x: u32, y: u32) -> f64 {
+    ((frame as f64) * 1000.0 + (y as f64) * 10.0 + x as f64) % 256.0
+}
+
+/// A full pattern frame.
+pub fn pattern_frame(w: u32, h: u32, frame: u32) -> Image {
+    (0..h)
+        .map(|y| (0..w).map(|x| pattern_pixel(frame, x, y)).collect())
+        .collect()
+}
+
+/// Image dimensions `(w, h)`.
+pub fn dims(img: &Image) -> (usize, usize) {
+    (img.first().map_or(0, |r| r.len()), img.len())
+}
+
+/// Valid-mode 2-D convolution with a flipped kernel (true convolution, as
+/// the paper's Fig. 6 kernel computes). Output is smaller by the halo.
+pub fn conv2d_valid(img: &Image, coeff: &Image) -> Image {
+    let (w, h) = dims(img);
+    let (kw, kh) = dims(coeff);
+    let ow = w + 1 - kw;
+    let oh = h + 1 - kh;
+    let mut out = vec![vec![0.0; ow]; oh];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mut acc = 0.0;
+            for y in 0..kh {
+                for x in 0..kw {
+                    acc += img[oy + y][ox + x] * coeff[kh - 1 - y][kw - 1 - x];
+                }
+            }
+            out[oy][ox] = acc;
+        }
+    }
+    out
+}
+
+/// Valid-mode windowed median (odd windows take the middle element, even
+/// windows the average of the two middle elements, matching the kernel).
+pub fn median_valid(img: &Image, kw: usize, kh: usize) -> Image {
+    let (w, h) = dims(img);
+    let ow = w + 1 - kw;
+    let oh = h + 1 - kh;
+    let mut out = vec![vec![0.0; ow]; oh];
+    let mut scratch = Vec::with_capacity(kw * kh);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            scratch.clear();
+            for y in 0..kh {
+                for x in 0..kw {
+                    scratch.push(img[oy + y][ox + x]);
+                }
+            }
+            scratch.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mid = scratch.len() / 2;
+            out[oy][ox] = if scratch.len() % 2 == 1 {
+                scratch[mid]
+            } else {
+                0.5 * (scratch[mid - 1] + scratch[mid])
+            };
+        }
+    }
+    out
+}
+
+/// Trim `m` samples off every edge.
+pub fn trim(img: &Image, m: usize) -> Image {
+    let (w, h) = dims(img);
+    img[m..h - m]
+        .iter()
+        .map(|row| row[m..w - m].to_vec())
+        .collect()
+}
+
+/// Zero-pad by `m` samples on every edge.
+pub fn pad_zero(img: &Image, m: usize) -> Image {
+    let (w, _h) = dims(img);
+    let empty = vec![0.0; w + 2 * m];
+    let mut out = vec![empty.clone(); m];
+    for row in img {
+        let mut r = vec![0.0; m];
+        r.extend_from_slice(row);
+        r.extend(std::iter::repeat_n(0.0, m));
+        out.push(r);
+    }
+    out.extend(std::iter::repeat_n(empty, m));
+    out
+}
+
+/// Per-pixel difference `a - b` (dimensions must match).
+pub fn subtract(a: &Image, b: &Image) -> Image {
+    a.iter()
+        .zip(b)
+        .map(|(ra, rb)| ra.iter().zip(rb).map(|(x, y)| x - y).collect())
+        .collect()
+}
+
+/// Histogram with the kernel's semantics: linear scan over upper bounds,
+/// last bin open-ended.
+pub fn histogram(img: &Image, uppers: &[f64]) -> Vec<f64> {
+    let mut counts = vec![0.0; uppers.len()];
+    for row in img {
+        for &v in row {
+            let mut bin = uppers.len() - 1;
+            for (i, u) in uppers.iter().enumerate() {
+                if v < *u {
+                    bin = i;
+                    break;
+                }
+            }
+            counts[bin] += 1.0;
+        }
+    }
+    counts
+}
+
+/// Evenly spaced bin upper bounds (same as `bp_kernels::uniform_bins`).
+pub fn uniform_uppers(bins: usize, lo: f64, hi: f64) -> Vec<f64> {
+    let step = (hi - lo) / bins as f64;
+    (0..bins).map(|i| lo + step * (i + 1) as f64).collect()
+}
+
+/// End-to-end golden model for the Fig. 1(b) application under the Trim
+/// alignment policy: 3×3 median (trimmed by 1) minus 5×5 box convolution,
+/// then a 32-bin histogram of the difference. Returns the per-frame counts.
+pub fn fig1b_expected(w: u32, h: u32, frame: u32, bins: usize, lo: f64, hi: f64) -> Vec<f64> {
+    let img = pattern_frame(w, h, frame);
+    let med = median_valid(&img, 3, 3);
+    let med = trim(&med, 1);
+    let box5 = vec![vec![1.0 / 25.0; 5]; 5];
+    let conv = conv2d_valid(&img, &box5);
+    let diff = subtract(&med, &conv);
+    histogram(&diff, &uniform_uppers(bins, lo, hi))
+}
+
+/// Golden model for the Fig. 1(b) application under the PadZero policy:
+/// the convolution input is padded by 1, growing its output to 18×10.
+pub fn fig1b_expected_padded(w: u32, h: u32, frame: u32, bins: usize, lo: f64, hi: f64) -> Vec<f64> {
+    let img = pattern_frame(w, h, frame);
+    let med = median_valid(&img, 3, 3);
+    let box5 = vec![vec![1.0 / 25.0; 5]; 5];
+    let conv = conv2d_valid(&pad_zero(&img, 1), &box5);
+    let diff = subtract(&med, &conv);
+    histogram(&diff, &uniform_uppers(bins, lo, hi))
+}
+
+/// Valid-mode 1-D FIR with reversed taps (matching the `fir` kernel).
+pub fn fir_valid(signal: &[f64], taps: &[f64]) -> Vec<f64> {
+    let n = taps.len();
+    (0..signal.len() + 1 - n)
+        .map(|i| {
+            signal[i..i + n]
+                .iter()
+                .zip(taps.iter().rev())
+                .map(|(x, t)| x * t)
+                .sum()
+        })
+        .collect()
+}
+
+/// Keep the first of every `m` samples.
+pub fn decimate_by(signal: &[f64], m: usize) -> Vec<f64> {
+    signal.iter().step_by(m).copied().collect()
+}
+
+/// Sobel gradient magnitude (L1) over the valid interior.
+pub fn sobel_valid(img: &Image) -> Image {
+    let (w, h) = dims(img);
+    let ow = w - 2;
+    let oh = h - 2;
+    let mut out = vec![vec![0.0; ow]; oh];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let p = |dx: usize, dy: usize| img[oy + dy][ox + dx];
+            let gx = (p(2, 0) + 2.0 * p(2, 1) + p(2, 2)) - (p(0, 0) + 2.0 * p(0, 1) + p(0, 2));
+            let gy = (p(0, 2) + 2.0 * p(1, 2) + p(2, 2)) - (p(0, 0) + 2.0 * p(1, 0) + p(2, 0));
+            out[oy][ox] = gx.abs() + gy.abs();
+        }
+    }
+    out
+}
+
+/// Per-pixel binarization.
+pub fn threshold_img(img: &Image, level: f64) -> Image {
+    img.iter()
+        .map(|r| r.iter().map(|&v| if v >= level { 1.0 } else { 0.0 }).collect())
+        .collect()
+}
+
+/// Bilinear RGGB demosaic over the valid interior, mirroring
+/// `bp_kernels::bayer_demosaic` (center positions start at (1,1)).
+pub fn bayer_expected(img: &Image) -> (Image, Image, Image) {
+    let (w, h) = dims(img);
+    let ow = w - 2;
+    let oh = h - 2;
+    let mut r = vec![vec![0.0; ow]; oh];
+    let mut g = vec![vec![0.0; ow]; oh];
+    let mut b = vec![vec![0.0; ow]; oh];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let cx = ox + 1;
+            let cy = oy + 1;
+            let c = img[cy][cx];
+            let edges = (img[cy][cx - 1] + img[cy][cx + 1] + img[cy - 1][cx] + img[cy + 1][cx]) / 4.0;
+            let corners = (img[cy - 1][cx - 1]
+                + img[cy - 1][cx + 1]
+                + img[cy + 1][cx - 1]
+                + img[cy + 1][cx + 1])
+                / 4.0;
+            let horiz = (img[cy][cx - 1] + img[cy][cx + 1]) / 2.0;
+            let vert = (img[cy - 1][cx] + img[cy + 1][cx]) / 2.0;
+            let (rv, gv, bv) = match (cx % 2, cy % 2) {
+                (0, 0) => (c, edges, corners),
+                (1, 0) => (horiz, c, vert),
+                (0, 1) => (vert, c, horiz),
+                _ => (corners, edges, c),
+            };
+            r[oy][ox] = rv;
+            g[oy][ox] = gv;
+            b[oy][ox] = bv;
+        }
+    }
+    (r, g, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_identity() {
+        let img = pattern_frame(6, 6, 0);
+        let mut id = vec![vec![0.0; 3]; 3];
+        id[1][1] = 1.0;
+        let out = conv2d_valid(&img, &id);
+        assert_eq!(out[0][0], img[1][1]);
+        assert_eq!(dims(&out), (4, 4));
+    }
+
+    #[test]
+    fn median_matches_center_of_sorted() {
+        let img = vec![
+            vec![9.0, 1.0, 8.0],
+            vec![2.0, 7.0, 3.0],
+            vec![6.0, 4.0, 5.0],
+        ];
+        let out = median_valid(&img, 3, 3);
+        assert_eq!(out, vec![vec![5.0]]);
+    }
+
+    #[test]
+    fn trim_and_pad_roundtrip_shapes() {
+        let img = pattern_frame(8, 6, 0);
+        assert_eq!(dims(&trim(&img, 2)), (4, 2));
+        assert_eq!(dims(&pad_zero(&img, 2)), (12, 10));
+        assert_eq!(pad_zero(&img, 1)[0][0], 0.0);
+        assert_eq!(pad_zero(&img, 1)[1][1], img[0][0]);
+    }
+
+    #[test]
+    fn histogram_counts_cover_all_samples() {
+        let img = pattern_frame(10, 10, 3);
+        let counts = histogram(&img, &uniform_uppers(8, 0.0, 256.0));
+        let total: f64 = counts.iter().sum();
+        assert_eq!(total, 100.0);
+    }
+
+    #[test]
+    fn fig1b_expected_is_stable() {
+        let a = fig1b_expected(20, 12, 0, 32, -128.0, 128.0);
+        let b = fig1b_expected(20, 12, 0, 32, -128.0, 128.0);
+        assert_eq!(a, b);
+        let total: f64 = a.iter().sum();
+        assert_eq!(total, 16.0 * 8.0);
+    }
+
+    #[test]
+    fn bayer_gray_world() {
+        let img = vec![vec![3.0; 6]; 6];
+        let (r, g, b) = bayer_expected(&img);
+        for plane in [r, g, b] {
+            for row in plane {
+                for v in row {
+                    assert_eq!(v, 3.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! greedy multiplexing vs 1:1 mapping, the Fig. 9 reuse-optimized buffering
+//! variants, and the simulated-annealing placement pass.
+
+use bp_compiler::place::{place_annealed, AnnealConfig};
+use bp_compiler::{
+    align, analyze, compile, insert_buffers, parallelize_with_reuse, AlignPolicy, CompileOptions,
+    MappingKind, ReuseVariant,
+};
+use bp_core::MachineSpec;
+use bp_sim::{SimConfig, TimedSimulator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_mapping_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping");
+    group.sample_size(15);
+    for (label, kind) in [("one-to-one", MappingKind::OneToOne), ("greedy", MappingKind::Greedy)] {
+        let app = bp_apps::fig1b(bp_apps::SMALL, bp_apps::FAST);
+        let compiled = compile(
+            &app.graph,
+            &CompileOptions {
+                mapping: kind,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &compiled, |b, c| {
+            b.iter(|| {
+                TimedSimulator::new(&c.graph, &c.mapping, SimConfig::new(1))
+                    .unwrap()
+                    .run()
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_reuse_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reuse");
+    group.sample_size(15);
+    for (label, variant) in [
+        ("round-robin", ReuseVariant::RoundRobin),
+        ("split-input", ReuseVariant::SplitInput),
+        ("split+outbuf", ReuseVariant::SplitInputBufferedOutput),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &variant, |b, &v| {
+            b.iter_batched(
+                || {
+                    let mut g = bp_apps::fig1b(bp_apps::SMALL, bp_apps::FAST).graph;
+                    align(&mut g, AlignPolicy::Trim).unwrap();
+                    insert_buffers(&mut g).unwrap();
+                    g
+                },
+                |mut g| {
+                    parallelize_with_reuse(&mut g, &MachineSpec::default_eval(), v).unwrap();
+                    let df = analyze(&g).unwrap();
+                    let mapping = bp_compiler::map_greedy(&g, &df, &MachineSpec::default_eval());
+                    TimedSimulator::new(&g, &mapping, SimConfig::new(1))
+                        .unwrap()
+                        .run()
+                        .unwrap()
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let app = bp_apps::fig1b(bp_apps::BIG, bp_apps::FAST);
+    let compiled = compile(&app.graph, &CompileOptions::default()).unwrap();
+    let df = analyze(&compiled.graph).unwrap();
+    let mut group = c.benchmark_group("placement");
+    group.sample_size(10);
+    for iters in [1_000u32, 10_000, 50_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(iters), &iters, |b, &iters| {
+            let cfg = AnnealConfig {
+                iterations: iters,
+                ..Default::default()
+            };
+            b.iter(|| place_annealed(&compiled.graph, &df, &compiled.mapping, &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mapping_ablation,
+    bench_reuse_ablation,
+    bench_placement
+);
+criterion_main!(benches);

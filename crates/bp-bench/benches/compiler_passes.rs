@@ -1,0 +1,79 @@
+//! Criterion benchmarks for the compiler passes: data-flow analysis,
+//! alignment, buffering, parallelization, and the full pipeline, across
+//! application sizes.
+
+use bp_compiler::{
+    align, analyze_with, compile, insert_buffers, parallelize, AlignPolicy, CompileOptions,
+    Strictness,
+};
+use bp_core::MachineSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_dataflow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataflow");
+    for (label, app) in [
+        ("fig1b-small", bp_apps::fig1b(bp_apps::SMALL, bp_apps::SLOW)),
+        ("fig1b-big", bp_apps::fig1b(bp_apps::BIG, bp_apps::FAST)),
+        ("multiconv-8", bp_apps::multi_conv(bp_apps::BIG, bp_apps::SLOW, 8)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &app, |b, app| {
+            // Lenient mode: the source graphs are not yet aligned (§III-C),
+            // and the analysis cost is what we measure.
+            b.iter(|| analyze_with(&app.graph, Strictness::Lenient).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_passes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("passes");
+    group.bench_function("align-trim", |b| {
+        b.iter_batched(
+            || bp_apps::fig1b(bp_apps::SMALL, bp_apps::SLOW).graph,
+            |mut g| align(&mut g, AlignPolicy::Trim).unwrap(),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("buffering", |b| {
+        b.iter_batched(
+            || {
+                let mut g = bp_apps::fig1b(bp_apps::SMALL, bp_apps::SLOW).graph;
+                align(&mut g, AlignPolicy::Trim).unwrap();
+                g
+            },
+            |mut g| insert_buffers(&mut g).unwrap(),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("parallelize-big-fast", |b| {
+        b.iter_batched(
+            || {
+                let mut g = bp_apps::fig1b(bp_apps::BIG, bp_apps::FAST).graph;
+                align(&mut g, AlignPolicy::Trim).unwrap();
+                insert_buffers(&mut g).unwrap();
+                g
+            },
+            |mut g| parallelize(&mut g, &MachineSpec::default_eval()).unwrap(),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_full_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    for point in bp_apps::fig11_points() {
+        let app = bp_apps::fig1b(point.dim, point.rate_hz);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(point.label.replace('/', "-")),
+            &app,
+            |b, app| {
+                b.iter(|| compile(&app.graph, &CompileOptions::default()).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataflow, bench_passes, bench_full_compile);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benchmarks for the executors: untimed functional execution and
+//! the timing-accurate discrete-event simulator, on compiled applications.
+
+use bp_compiler::{compile, CompileOptions};
+use bp_sim::{FunctionalExecutor, SimConfig, TimedSimulator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_functional(c: &mut Criterion) {
+    let mut group = c.benchmark_group("functional");
+    group.sample_size(20);
+    for (label, dim, rate) in [
+        ("fig1b-SS", bp_apps::SMALL, bp_apps::SLOW),
+        ("fig1b-SF", bp_apps::SMALL, bp_apps::FAST),
+    ] {
+        let app = bp_apps::fig1b(dim, rate);
+        let compiled = compile(&app.graph, &CompileOptions::default()).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &compiled, |b, c| {
+            b.iter(|| {
+                let mut ex = FunctionalExecutor::new(&c.graph).unwrap();
+                ex.run_frames(1).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_timed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timed");
+    group.sample_size(20);
+    for (label, dim, rate) in [
+        ("fig1b-SS", bp_apps::SMALL, bp_apps::SLOW),
+        ("fig1b-SF", bp_apps::SMALL, bp_apps::FAST),
+        ("fig1b-BF", bp_apps::BIG, bp_apps::FAST),
+    ] {
+        let app = bp_apps::fig1b(dim, rate);
+        let compiled = compile(&app.graph, &CompileOptions::default()).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &compiled, |b, c| {
+            b.iter(|| {
+                TimedSimulator::new(&c.graph, &c.mapping, SimConfig::new(1))
+                    .unwrap()
+                    .run()
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_instantiation(c: &mut Criterion) {
+    let app = bp_apps::fig1b(bp_apps::BIG, bp_apps::FAST);
+    let compiled = compile(&app.graph, &CompileOptions::default()).unwrap();
+    c.bench_function("instantiate-big-fast", |b| {
+        b.iter(|| bp_sim::Program::instantiate(&compiled.graph).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_functional, bench_timed, bench_instantiation);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E3 — Figure 5: data access and reuse patterns of windowed inputs.
+//!
+//! The parameterization (size, step, scan-line order) fully determines
+//! steady-state reuse: a 5x5 window advancing by (1,1) reuses 24 of 25
+//! samples per iteration. This harness prints the reuse table for the
+//! window shapes used across the benchmark suite.
+
+use bp_bench::Table;
+use bp_core::geometry::{fresh_samples_per_iteration, halo, iterations, steady_state_reuse};
+use bp_core::{Dim2, Step2};
+
+fn main() {
+    println!("== Figure 5: window parameterization -> data reuse ==\n");
+    let cases = [
+        ("5x5 conv", Dim2::new(5, 5), Step2::ONE),
+        ("3x3 median", Dim2::new(3, 3), Step2::ONE),
+        ("3x3 sobel", Dim2::new(3, 3), Step2::ONE),
+        ("4x4 bayer quad", Dim2::new(4, 4), Step2::new(2, 2)),
+        ("2x2 downsample", Dim2::new(2, 2), Step2::new(2, 2)),
+        ("5x5 coeff load", Dim2::new(5, 5), Step2::new(5, 5)),
+        ("7x7 conv", Dim2::new(7, 7), Step2::ONE),
+        ("9x1 row filter", Dim2::new(9, 1), Step2::ONE),
+    ];
+    let data = Dim2::new(20, 12);
+    let mut t = Table::new(&[
+        "kernel input",
+        "size",
+        "step",
+        "halo",
+        "fresh/iter",
+        "steady-state reuse",
+        "iters over 20x12",
+    ]);
+    for (name, size, step) in cases {
+        let reuse = steady_state_reuse(size, step);
+        t.row(&[
+            name.to_string(),
+            size.to_string(),
+            step.to_string(),
+            halo(size, step).to_string(),
+            fresh_samples_per_iteration(size, step).to_string(),
+            format!("{:.1}% ({}/{})", 100.0 * reuse, size.area() - fresh_samples_per_iteration(size, step), size.area()),
+            iterations(data, size, step)
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "n/a".into()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "paper (Fig. 5): the 5x5 step-(1,1) convolution reuses 24 of 25 elements in the\n\
+         steady state; coefficient-style inputs (step == size) reuse nothing.\n\
+         measured: {:.1}% and {:.1}% respectively.",
+        100.0 * steady_state_reuse(Dim2::new(5, 5), Step2::ONE),
+        100.0 * steady_state_reuse(Dim2::new(5, 5), Step2::new(5, 5)),
+    );
+}

@@ -1,0 +1,101 @@
+//! E5 — Figure 9: reuse-optimized input/output buffering ablation.
+//!
+//! Compares the three buffering strategies for a parallelized
+//! buffer→convolution pair: (a) single buffer with round-robin window
+//! distribution, (b) column-split input buffers feeding each replica in
+//! order, (c) b plus output buffers for stall-free collection. All three
+//! must be functionally identical; they differ in the data reuse available
+//! at the buffer→kernel interface and in the buffer storage footprint.
+//! (The paper describes this optimization but evaluated only variant (a).)
+
+use bp_bench::Table;
+use bp_compiler::{align, insert_buffers, parallelize_with_reuse, AlignPolicy, ReuseVariant};
+use bp_core::kernel::NodeRole;
+use bp_core::{Dim2, GraphBuilder, MachineSpec};
+use bp_kernels as k;
+use bp_sim::{FunctionalExecutor, SimConfig, TimedSimulator};
+
+fn conv_app(rate: f64) -> (bp_core::AppGraph, k::SinkHandle) {
+    let dim = Dim2::new(20, 12);
+    let mut b = GraphBuilder::new();
+    let src = b.add_source("Input", k::pattern_source(dim), dim, rate);
+    let conv = b.add("Conv", k::conv2d(5, 5));
+    let coeff = b.add("Coeff", k::const_source("coeff", k::box_coefficients(5, 5)));
+    let (sdef, h) = k::sink();
+    let snk = b.add("Out", sdef);
+    b.connect(src, "out", conv, "in");
+    b.connect(coeff, "out", conv, "coeff");
+    b.connect(conv, "out", snk, "in");
+    (b.build().unwrap(), h)
+}
+
+fn main() {
+    let machine = MachineSpec::default_eval();
+    println!("== Figure 9: buffering strategies for a parallelized 5x5 conv (20x12 @ 200 Hz) ==\n");
+    let mut t = Table::new(&[
+        "variant",
+        "buffers",
+        "buffer words",
+        "reuse at kernel",
+        "verdict",
+        "achieved Hz",
+        "PEs",
+    ]);
+    let mut golden: Option<Vec<Vec<f64>>> = None;
+    for (label, variant) in [
+        ("(a) round-robin", ReuseVariant::RoundRobin),
+        ("(b) split input", ReuseVariant::SplitInput),
+        ("(c) b + out bufs", ReuseVariant::SplitInputBufferedOutput),
+    ] {
+        let (mut g, h) = conv_app(200.0);
+        align(&mut g, AlignPolicy::Trim).unwrap();
+        insert_buffers(&mut g).unwrap();
+        let report = parallelize_with_reuse(&mut g, &machine, variant).unwrap();
+
+        // Functional run for equivalence.
+        let mut ex = FunctionalExecutor::new(&g).unwrap();
+        ex.run_frames(2).unwrap();
+        let frames = h.frames();
+        match &golden {
+            None => golden = Some(frames.clone()),
+            Some(gold) => assert_eq!(gold, &frames, "variant {label} diverged"),
+        }
+        h.clear();
+
+        // Timed run for the real-time verdict.
+        let mapping = {
+            let df = bp_compiler::analyze(&g).unwrap();
+            bp_compiler::map_greedy(&g, &df, &machine)
+        };
+        let sim = TimedSimulator::new(&g, &mapping, SimConfig::new(4).with_machine(machine))
+            .unwrap()
+            .run()
+            .unwrap();
+
+        let buffers: Vec<u64> = g
+            .nodes()
+            .filter(|(_, n)| n.spec().role == NodeRole::Buffer)
+            .map(|(_, n)| n.spec().state_words)
+            .collect();
+        t.row(&[
+            label.to_string(),
+            buffers.len().to_string(),
+            buffers.iter().sum::<u64>().to_string(),
+            if variant == ReuseVariant::RoundRobin {
+                "~0% (interleaved)".into()
+            } else {
+                format!("{:.0}% (in order)", 100.0 * report.reuse_fraction)
+            },
+            if sim.verdict.met { "met".into() } else { "MISSED".into() },
+            format!("{:.1}", sim.verdict.achieved_rate_hz),
+            sim.num_pes().to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "paper (Fig. 9): replicating the input buffer enables in-order execution and\n\
+         hence the full (wh - sx*sy)/wh window reuse at each replica, at the cost of\n\
+         more buffer kernels; without output buffering the in-order collection can\n\
+         stall the kernels. All variants compute identical results (verified above)."
+    );
+}

@@ -1,0 +1,119 @@
+//! Extension experiment: machine-sensitivity sweep.
+//!
+//! Compiles the running example across a grid of machine descriptions —
+//! PE clock scaling, storage, and local-port width — and reports how the
+//! parallelization and feasibility respond. This is the question a
+//! deployment engineer asks of the paper's flow: "what does the compiler do
+//! on *my* cores?"
+
+use bp_bench::{compile_and_simulate, Table};
+use bp_compiler::CompileOptions;
+use bp_core::MachineSpec;
+use bp_sim::run_batch;
+
+struct Case {
+    name: &'static str,
+    machine: MachineSpec,
+}
+
+fn main() {
+    println!("== Machine sensitivity: Fig. 1(b) app (20x12 @ 200 Hz) across machines ==\n");
+    let cases = [Case {
+            name: "default (1 MHz, 320 w, 16 w/cyc)",
+            machine: MachineSpec::default_eval(),
+        },
+        Case {
+            name: "half-speed cores (0.5 MHz)",
+            machine: MachineSpec::scaled_clock(0.5),
+        },
+        Case {
+            name: "double-speed cores (2 MHz)",
+            machine: MachineSpec::scaled_clock(2.0),
+        },
+        Case {
+            name: "quad-speed cores (4 MHz)",
+            machine: MachineSpec::scaled_clock(4.0),
+        },
+        Case {
+            name: "tight memory (192 words)",
+            machine: MachineSpec::tight_memory(),
+        },
+        Case {
+            name: "narrow port (1 w/cyc)",
+            machine: MachineSpec::narrow_port(),
+        }];
+
+    type Row = (usize, usize, u32, u32, bool, f64, usize);
+    let jobs: Vec<Box<dyn FnOnce() -> Option<Row> + Send>> = cases
+        .iter()
+        .map(|c| {
+            let machine = c.machine;
+            let f: Box<dyn FnOnce() -> Option<Row> + Send> = Box::new(move || {
+                let app = bp_apps::fig1b(bp_apps::SMALL, bp_apps::FAST);
+                let opts = CompileOptions {
+                    machine,
+                    ..Default::default()
+                };
+                let (compiled, sim) = compile_and_simulate(&app, &opts, 3).ok()?;
+                let conv = compiled
+                    .report
+                    .parallelize
+                    .plan_for("5x5 Conv")
+                    .map(|p| p.granted)
+                    .unwrap_or(1);
+                let med = compiled
+                    .report
+                    .parallelize
+                    .plan_for("3x3 Median")
+                    .map(|p| p.granted)
+                    .unwrap_or(1);
+                Some((
+                    compiled.report.census.nodes,
+                    sim.num_pes(),
+                    conv,
+                    med,
+                    sim.verdict.met,
+                    sim.avg_utilization(),
+                    compiled.report.census.role("Buffer"),
+                ))
+            });
+            f
+        })
+        .collect();
+    let results = run_batch(jobs);
+
+    let mut t = Table::new(&[
+        "machine", "nodes", "PEs", "conv", "median", "buffers", "util", "verdict",
+    ]);
+    for (c, r) in cases.iter().zip(results) {
+        match r {
+            Some((nodes, pes, conv, med, met, util, buffers)) => t.row(&[
+                c.name.to_string(),
+                nodes.to_string(),
+                pes.to_string(),
+                format!("x{conv}"),
+                format!("x{med}"),
+                buffers.to_string(),
+                format!("{:.1}%", 100.0 * util),
+                if met { "met".into() } else { "MISSED".into() },
+            ]),
+            None => t.row(&[
+                c.name.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "infeasible".into(),
+            ]),
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "faster cores shrink the replica counts toward 1:1 with the kernel graph;\n\
+         tighter memory multiplies buffers; a narrow local-store port can make the\n\
+         serial split/join FSMs the bottleneck — the regime the paper's own machine\n\
+         constants implicitly avoid."
+    );
+}

@@ -1,0 +1,193 @@
+//! Automatic buffer insertion (§III-B): wherever a channel's producer grain
+//! differs from its consumer's window parameterization, splice in a
+//! parameterized buffer kernel sized from the data-flow analysis.
+
+use crate::dataflow::analyze;
+use bp_core::graph::AppGraph;
+use bp_core::kernel::NodeRole;
+use bp_core::{BpError, Dim2, Result, Step2};
+use serde::{Deserialize, Serialize};
+
+/// One inserted buffer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct InsertedBuffer {
+    /// Node name, e.g. `"Buffer(Median.in)"`.
+    pub name: String,
+    /// Producer grain entering the buffer.
+    pub producer: Dim2,
+    /// Window emitted to the consumer.
+    pub window: Dim2,
+    /// Window step.
+    pub step: Step2,
+    /// Logical data extent buffered over.
+    pub data: Dim2,
+    /// Paper-rule storage size in words (double buffer of the larger grain
+    /// across the data width) — the `[20x10]`-style annotations of Fig. 11.
+    pub storage_words: u64,
+}
+
+impl InsertedBuffer {
+    /// The paper's `[WxH]` annotation: data width × double the window rows.
+    pub fn annotation(&self) -> String {
+        format!(
+            "[{}x{}]",
+            self.data.w,
+            2 * self.window.h.max(self.producer.h)
+        )
+    }
+}
+
+/// Report of the buffering pass.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BufferingReport {
+    /// Buffers inserted, in insertion order.
+    pub inserted: Vec<InsertedBuffer>,
+}
+
+/// Insert buffers on every grain-mismatched channel. Must run after
+/// alignment (§III-C) and before parallelization (§IV).
+pub fn insert_buffers(graph: &mut AppGraph) -> Result<BufferingReport> {
+    let df = analyze(graph)?;
+    let mut report = BufferingReport::default();
+
+    let channels: Vec<_> = graph.channels().collect();
+    for (cid, ch) in channels {
+        let dst_node = graph.node(ch.dst.node);
+        let dspec = dst_node.spec();
+        // Sinks accept any grain; buffers themselves and other plumbing are
+        // inserted with matching grains by construction.
+        if matches!(dspec.role, NodeRole::Sink) {
+            continue;
+        }
+        let din = &dspec.inputs[ch.dst.port];
+        let src_node = graph.node(ch.src.node);
+        let sout = &src_node.spec().outputs[ch.src.port];
+        if sout.size == din.size && sout.step == din.step {
+            continue; // grains agree; the ports' implicit buffers suffice
+        }
+        let info = df.channels.get(&cid).ok_or_else(|| {
+            BpError::Transform(format!(
+                "no data-flow info for channel into '{}'",
+                dst_node.name
+            ))
+        })?;
+        let producer = sout.size;
+        let window = din.size;
+        let step = din.step;
+        let data = info.shape;
+        let consumer = dst_node.name.clone();
+        let input_name = din.name.clone();
+        let def = bp_kernels::buffer(producer, window, step, data);
+        let storage = def.spec.state_words;
+        let name = format!("Buffer({consumer}.{input_name})");
+        graph.splice(cid, name.clone(), def, 0, 0);
+        report.inserted.push(InsertedBuffer {
+            name,
+            producer,
+            window,
+            step,
+            data,
+            storage_words: storage,
+        });
+    }
+    // The transformed graph must still analyze cleanly.
+    analyze(graph)?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_core::GraphBuilder;
+    use bp_kernels as k;
+
+    /// Unbuffered Fig. 1(a)-style pipeline: source feeds median and conv
+    /// directly; subtract needs alignment first, so here we use a single
+    /// filter path to isolate buffering.
+    #[test]
+    fn inserts_buffer_between_source_and_windowed_kernel() {
+        let dim = Dim2::new(20, 12);
+        let mut b = GraphBuilder::new();
+        let src = b.add_source("Input", k::pattern_source(dim), dim, 50.0);
+        let med = b.add("Median", k::median(3, 3));
+        let (sdef, _h) = k::sink();
+        let snk = b.add("Out", sdef);
+        b.connect(src, "out", med, "in");
+        b.connect(med, "out", snk, "in");
+        let mut g = b.build().unwrap();
+
+        let report = insert_buffers(&mut g).unwrap();
+        assert_eq!(report.inserted.len(), 1);
+        let buf = &report.inserted[0];
+        assert_eq!(buf.window, Dim2::new(3, 3));
+        assert_eq!(buf.data, dim);
+        assert_eq!(buf.storage_words, 2 * 20 * 3);
+        assert_eq!(buf.annotation(), "[20x6]");
+        // Topology: Input -> Buffer -> Median.
+        let med = g.find_node("Median").unwrap();
+        let (_, ch) = g.channel_into(med, 0).unwrap();
+        assert_eq!(g.node(ch.src.node).name, "Buffer(Median.in)");
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn matched_grains_get_no_buffer() {
+        let dim = Dim2::new(8, 8);
+        let mut b = GraphBuilder::new();
+        let src = b.add_source("Input", k::pattern_source(dim), dim, 10.0);
+        let sc = b.add("Scale", k::scale(1.0, 0.0));
+        let (sdef, _h) = k::sink();
+        let snk = b.add("Out", sdef);
+        b.connect(src, "out", sc, "in");
+        b.connect(sc, "out", snk, "in");
+        let mut g = b.build().unwrap();
+        let report = insert_buffers(&mut g).unwrap();
+        assert!(report.inserted.is_empty());
+    }
+
+    #[test]
+    fn coefficient_inputs_are_not_buffered() {
+        let dim = Dim2::new(12, 12);
+        let mut b = GraphBuilder::new();
+        let src = b.add_source("Input", k::pattern_source(dim), dim, 10.0);
+        let conv = b.add("Conv", k::conv2d(5, 5));
+        let coeff = b.add("Coeff", k::const_source("coeff", k::box_coefficients(5, 5)));
+        let (sdef, _h) = k::sink();
+        let snk = b.add("Out", sdef);
+        b.connect(src, "out", conv, "in");
+        b.connect(coeff, "out", conv, "coeff");
+        b.connect(conv, "out", snk, "in");
+        let mut g = b.build().unwrap();
+        let report = insert_buffers(&mut g).unwrap();
+        // Only the data path gets a buffer; the coeff grain already matches.
+        assert_eq!(report.inserted.len(), 1);
+        assert_eq!(report.inserted[0].window, Dim2::new(5, 5));
+        assert_eq!(report.inserted[0].annotation(), "[12x10]");
+    }
+
+    #[test]
+    fn paper_fig3_buffer_sizes() {
+        // The running example at 20x12: conv path [20x10], median [20x6].
+        let dim = Dim2::new(20, 12);
+        let mut b = GraphBuilder::new();
+        let src = b.add_source("Input", k::pattern_source(dim), dim, 50.0);
+        let med = b.add("Median", k::median(3, 3));
+        let conv = b.add("Conv", k::conv2d(5, 5));
+        let coeff = b.add("Coeff", k::const_source("coeff", k::box_coefficients(5, 5)));
+        let (s1, _h1) = k::sink();
+        let (s2, _h2) = k::sink();
+        let o1 = b.add("O1", s1);
+        let o2 = b.add("O2", s2);
+        b.connect(src, "out", med, "in");
+        b.connect(src, "out", conv, "in");
+        b.connect(coeff, "out", conv, "coeff");
+        b.connect(med, "out", o1, "in");
+        b.connect(conv, "out", o2, "in");
+        let mut g = b.build().unwrap();
+        let report = insert_buffers(&mut g).unwrap();
+        let mut annotations: Vec<String> =
+            report.inserted.iter().map(|b| b.annotation()).collect();
+        annotations.sort();
+        assert_eq!(annotations, vec!["[20x10]", "[20x6]"]);
+    }
+}

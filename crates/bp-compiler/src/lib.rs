@@ -1,0 +1,38 @@
+//! # bp-compiler — analyses and transformations for block-parallel programs
+//!
+//! Implements the compiler of the paper:
+//! - [`dataflow`]: iteration sizes and rates from static input sizes/rates
+//!   (§III-A), with feedback support via a work-list fixpoint (§III-D);
+//! - [`inset`]: inset propagation and alignment regions (§III-C, Fig. 8);
+//! - [`mod@align`]: automatic trim/pad insertion (§III-C);
+//! - [`buffering`]: automatic buffer insertion and sizing (§III-B);
+//! - [`mod@parallelize`]: replication with split/join insertion, dependency-edge
+//!   caps, and column-wise buffer splitting (§IV, Fig. 10);
+//! - [`multiplex`]: 1:1 and greedy kernel-to-PE mappings (§V);
+//! - [`pipeline`]: the end-to-end driver.
+
+#![warn(missing_docs)]
+
+pub mod align;
+pub mod buffering;
+pub mod check;
+pub mod dataflow;
+pub mod fuse;
+pub mod inset;
+pub mod multiplex;
+pub mod parallelize;
+pub mod pipeline;
+pub mod place;
+pub mod reuse;
+
+pub use align::{align, AlignPolicy, AlignReport};
+pub use buffering::{insert_buffers, BufferingReport};
+pub use check::{check_compiled, CheckReport, CheckViolation};
+pub use dataflow::{analyze, analyze_with, ChannelInfo, Dataflow, NodeAnalysis, Strictness};
+pub use fuse::{fuse_pipelines, FuseReport};
+pub use inset::{analyze_insets, InsetAnalysis, InsetInfo};
+pub use multiplex::{map, map_greedy, map_one_to_one, map_packed, MappingKind};
+pub use parallelize::{parallelize, ParallelizeReport, ReplicaReason};
+pub use pipeline::{compile, summarize, to_dot, Compiled, CompileOptions, CompileReport};
+pub use place::{place_annealed, AnnealConfig, Placement};
+pub use reuse::{parallelize_with_reuse, ReuseReport, ReuseVariant};

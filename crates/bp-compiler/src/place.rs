@@ -1,0 +1,237 @@
+//! Simulated-annealing placement of PEs onto a 2-D mesh (§IV-D).
+//!
+//! The paper implemented an annealing placement pass but did not integrate
+//! it with the simulator (communication delay does not affect throughput in
+//! its model). We implement it as an optional post-mapping pass: it
+//! minimizes total traffic × Manhattan-distance over the mesh, which stands
+//! in for on-chip network energy.
+
+use crate::dataflow::Dataflow;
+use bp_core::graph::AppGraph;
+use bp_core::machine::Mapping;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A placement of PEs on a rectangular mesh.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Placement {
+    /// Mesh dimensions (columns, rows).
+    pub mesh: (u32, u32),
+    /// Coordinates of each PE, indexed by PE id.
+    pub coords: Vec<(u32, u32)>,
+    /// Final cost: Σ (words/s between PEs × Manhattan distance).
+    pub cost: f64,
+    /// Cost of the initial (row-major) placement, for comparison.
+    pub initial_cost: f64,
+}
+
+impl Placement {
+    /// Relative improvement of annealing over the row-major layout.
+    pub fn improvement(&self) -> f64 {
+        if self.initial_cost <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.cost / self.initial_cost
+    }
+}
+
+/// Inter-PE traffic matrix: words per second flowing between distinct PEs.
+pub fn traffic_matrix(graph: &AppGraph, df: &Dataflow, mapping: &Mapping) -> Vec<Vec<f64>> {
+    let n = mapping.num_pes;
+    let mut m = vec![vec![0.0; n]; n];
+    for (cid, ch) in graph.channels() {
+        let Some(info) = df.channels.get(&cid) else {
+            continue;
+        };
+        let a = mapping.pe_of_node[ch.src.node.0];
+        let b = mapping.pe_of_node[ch.dst.node.0];
+        if a != b {
+            m[a][b] += info.words_per_sec();
+        }
+    }
+    m
+}
+
+fn manhattan(a: (u32, u32), b: (u32, u32)) -> f64 {
+    ((a.0 as i64 - b.0 as i64).abs() + (a.1 as i64 - b.1 as i64).abs()) as f64
+}
+
+fn total_cost(traffic: &[Vec<f64>], coords: &[(u32, u32)]) -> f64 {
+    let mut cost = 0.0;
+    for (i, row) in traffic.iter().enumerate() {
+        for (j, w) in row.iter().enumerate() {
+            if *w > 0.0 {
+                cost += *w * manhattan(coords[i], coords[j]);
+            }
+        }
+    }
+    cost
+}
+
+/// Annealing parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct AnnealConfig {
+    /// Swap attempts.
+    pub iterations: u32,
+    /// Initial temperature as a fraction of the initial cost.
+    pub initial_temp_frac: f64,
+    /// Geometric cooling factor applied every `iterations / 100` steps.
+    pub cooling: f64,
+    /// RNG seed (placement must be reproducible).
+    pub seed: u64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 20_000,
+            initial_temp_frac: 0.1,
+            cooling: 0.95,
+            seed: 0xb10c_9a11,
+        }
+    }
+}
+
+/// Place the mapping's PEs on the smallest square mesh that fits, then
+/// anneal pairwise swaps to reduce traffic-weighted distance.
+pub fn place_annealed(
+    graph: &AppGraph,
+    df: &Dataflow,
+    mapping: &Mapping,
+    config: &AnnealConfig,
+) -> Placement {
+    let n = mapping.num_pes;
+    let side = (n as f64).sqrt().ceil() as u32;
+    let mesh = (side, side.max(1));
+    // Row-major initial placement.
+    let mut coords: Vec<(u32, u32)> = (0..n as u32).map(|i| (i % side, i / side)).collect();
+    let traffic = traffic_matrix(graph, df, mapping);
+    let initial_cost = total_cost(&traffic, &coords);
+    if n < 2 {
+        return Placement {
+            mesh,
+            coords,
+            cost: initial_cost,
+            initial_cost,
+        };
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut cost = initial_cost;
+    let mut temp = (initial_cost * config.initial_temp_frac).max(1e-9);
+    let cool_every = (config.iterations / 100).max(1);
+    for it in 0..config.iterations {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a == b {
+            continue;
+        }
+        coords.swap(a, b);
+        let new_cost = total_cost(&traffic, &coords);
+        let delta = new_cost - cost;
+        if delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp() {
+            cost = new_cost;
+        } else {
+            coords.swap(a, b); // revert
+        }
+        if it % cool_every == 0 {
+            temp *= config.cooling;
+        }
+    }
+    Placement {
+        mesh,
+        coords,
+        cost,
+        initial_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::analyze;
+    use crate::multiplex::map_one_to_one;
+    use bp_core::{Dim2, GraphBuilder, Step2};
+    use bp_kernels as k;
+
+    fn chain(n: usize) -> AppGraph {
+        let dim = Dim2::new(16, 8);
+        let mut b = GraphBuilder::new();
+        let src = b.add_source("Input", k::pattern_source(dim), dim, 50.0);
+        let mut prev = src;
+        for i in 0..n {
+            let s = b.add(format!("S{i}"), k::scale(1.0, 0.0));
+            b.connect(prev, "out", s, "in");
+            prev = s;
+        }
+        let (sdef, _h) = k::sink();
+        let snk = b.add("Out", sdef);
+        b.connect(prev, "out", snk, "in");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn annealing_never_worsens_the_layout() {
+        let g = chain(10);
+        let df = analyze(&g).unwrap();
+        let m = map_one_to_one(&g);
+        let p = place_annealed(&g, &df, &m, &AnnealConfig::default());
+        assert!(p.cost <= p.initial_cost + 1e-9);
+        assert_eq!(p.coords.len(), m.num_pes);
+        // All coordinates distinct and inside the mesh.
+        let mut seen = std::collections::HashSet::new();
+        for c in &p.coords {
+            assert!(c.0 < p.mesh.0 && c.1 < p.mesh.1);
+            assert!(seen.insert(*c));
+        }
+    }
+
+    #[test]
+    fn annealing_is_deterministic_for_a_seed() {
+        let g = chain(8);
+        let df = analyze(&g).unwrap();
+        let m = map_one_to_one(&g);
+        let cfg = AnnealConfig::default();
+        let p1 = place_annealed(&g, &df, &m, &cfg);
+        let p2 = place_annealed(&g, &df, &m, &cfg);
+        assert_eq!(p1.coords, p2.coords);
+        assert_eq!(p1.cost, p2.cost);
+    }
+
+    #[test]
+    fn pipeline_placement_improves_over_row_major() {
+        // A 12-stage pipeline on a 4x4 mesh: row-major puts consecutive
+        // stages 3 hops apart at row wraps; annealing should recover a
+        // snake-like layout with lower cost.
+        let g = chain(14);
+        let df = analyze(&g).unwrap();
+        let m = map_one_to_one(&g);
+        let p = place_annealed(&g, &df, &m, &AnnealConfig::default());
+        assert!(
+            p.cost < p.initial_cost,
+            "cost {} vs initial {}",
+            p.cost,
+            p.initial_cost
+        );
+        assert!(p.improvement() > 0.0);
+    }
+
+    #[test]
+    fn single_pe_is_trivial() {
+        let dim = Dim2::new(4, 4);
+        let mut b = GraphBuilder::new();
+        let src = b.add_source("Input", k::pattern_source(dim), dim, 10.0);
+        let buf = b.add("B", k::buffer(Dim2::ONE, Dim2::new(2, 2), Step2::new(2, 2), dim));
+        let (sdef, _h) = k::sink();
+        let snk = b.add("Out", sdef);
+        b.connect(src, "out", buf, "in");
+        b.connect(buf, "out", snk, "in");
+        let g = b.build().unwrap();
+        let df = analyze(&g).unwrap();
+        let m = Mapping::from_assignment(vec![0, 0, 0]);
+        let p = place_annealed(&g, &df, &m, &AnnealConfig::default());
+        assert_eq!(p.coords.len(), 1);
+        assert_eq!(p.cost, 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Shared error type for the block-parallel toolchain.
+
+/// Errors produced by graph construction, compiler analyses, or simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BpError {
+    /// The application graph is structurally invalid.
+    Validation(String),
+    /// A compiler analysis failed (e.g. sizes do not propagate consistently).
+    Analysis(String),
+    /// A transformation pass could not be applied.
+    Transform(String),
+    /// Simulation failed (deadlock, overflow, missed real-time deadline).
+    Simulation(String),
+}
+
+impl std::fmt::Display for BpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BpError::Validation(m) => write!(f, "validation error: {m}"),
+            BpError::Analysis(m) => write!(f, "analysis error: {m}"),
+            BpError::Transform(m) => write!(f, "transform error: {m}"),
+            BpError::Simulation(m) => write!(f, "simulation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BpError {}
+
+/// Result alias used across the toolchain.
+pub type Result<T> = std::result::Result<T, BpError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category() {
+        assert!(BpError::Validation("x".into()).to_string().contains("validation"));
+        assert!(BpError::Analysis("x".into()).to_string().contains("analysis"));
+        assert!(BpError::Transform("x".into()).to_string().contains("transform"));
+        assert!(BpError::Simulation("x".into()).to_string().contains("simulation"));
+    }
+}

@@ -1,0 +1,233 @@
+//! Two-dimensional geometry for windowed stream access.
+//!
+//! The block-parallel model parameterizes every kernel input and output by a
+//! window *size* (`Dim2`), a *step* (`Step2`) describing how far the window
+//! advances per iteration in X and Y, and an *offset* (`Offset2`) from the
+//! window origin to the produced output sample. Together with the fixed
+//! scan-line data order (left-to-right, top-to-bottom) these fully determine
+//! data movement, reuse, and iteration counts — the key simplification the
+//! paper makes relative to fully general multidimensional dataflow.
+
+use serde::{Deserialize, Serialize};
+
+/// A two-dimensional extent in samples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dim2 {
+    /// Width in samples.
+    pub w: u32,
+    /// Height in samples (rows).
+    pub h: u32,
+}
+
+impl Dim2 {
+    /// Construct a new extent.
+    pub const fn new(w: u32, h: u32) -> Self {
+        Self { w, h }
+    }
+
+    /// A 1×1 extent (single sample), the grain of raw pixel streams.
+    pub const ONE: Dim2 = Dim2 { w: 1, h: 1 };
+
+    /// Total number of samples covered.
+    pub const fn area(&self) -> u64 {
+        self.w as u64 * self.h as u64
+    }
+
+    /// True when either dimension is zero.
+    pub const fn is_empty(&self) -> bool {
+        self.w == 0 || self.h == 0
+    }
+}
+
+impl std::fmt::Display for Dim2 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}x{})", self.w, self.h)
+    }
+}
+
+/// Per-iteration window advance in X and Y.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Step2 {
+    /// Advance per iteration along the scan line.
+    pub x: u32,
+    /// Advance per row of iterations.
+    pub y: u32,
+}
+
+impl Step2 {
+    /// Construct a new step.
+    pub const fn new(x: u32, y: u32) -> Self {
+        Self { x, y }
+    }
+
+    /// Unit step: window slides one sample at a time (maximal reuse).
+    pub const ONE: Step2 = Step2 { x: 1, y: 1 };
+}
+
+impl std::fmt::Display for Step2 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{},{}]", self.x, self.y)
+    }
+}
+
+/// Offset from the upper-left corner of an input window to the location of
+/// the output sample it produces, in input-sample units.
+///
+/// Fractional offsets are permitted for downsampling kernels (§II-A of the
+/// paper), hence `f64` components.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Offset2 {
+    /// Offset along the scan line.
+    pub x: f64,
+    /// Offset across rows.
+    pub y: f64,
+}
+
+impl Offset2 {
+    /// Construct a new offset.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Zero offset: output aligned with the window origin.
+    pub const ZERO: Offset2 = Offset2 { x: 0.0, y: 0.0 };
+
+    /// The centered offset for a window of the given size: `floor(size/2)`,
+    /// matching the convolution example in the paper (`[2.0, 2.0]` for 5×5).
+    pub fn centered(size: Dim2) -> Self {
+        Self {
+            x: (size.w / 2) as f64,
+            y: (size.h / 2) as f64,
+        }
+    }
+}
+
+impl std::fmt::Display for Offset2 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:.1},{:.1}]", self.x, self.y)
+    }
+}
+
+/// The *halo* of a windowed access: `size - step` in each dimension.
+///
+/// A 5×5 window with step (1,1) has a 4×4 halo: its iteration grid is 4
+/// smaller than the data in each dimension, so the output shrinks by the halo
+/// (§III-A).
+pub const fn halo(size: Dim2, step: Step2) -> Dim2 {
+    Dim2 {
+        w: size.w.saturating_sub(step.x),
+        h: size.h.saturating_sub(step.y),
+    }
+}
+
+/// Number of iterations a window of `size` advancing by `step` performs over
+/// `data`, or `None` when the window does not fit or the stride does not
+/// tile the data exactly.
+///
+/// `iters = (data - size) / step + 1` per dimension; the paper's data-flow
+/// analysis (§III-A) requires the division to be exact so that rates stay
+/// statically known.
+pub fn iterations(data: Dim2, size: Dim2, step: Step2) -> Option<Dim2> {
+    if step.x == 0 || step.y == 0 {
+        return None;
+    }
+    if data.w < size.w || data.h < size.h {
+        return None;
+    }
+    let rx = data.w - size.w;
+    let ry = data.h - size.h;
+    if !rx.is_multiple_of(step.x) || !ry.is_multiple_of(step.y) {
+        return None;
+    }
+    Some(Dim2::new(rx / step.x + 1, ry / step.y + 1))
+}
+
+/// Steady-state data reuse fraction for a windowed input: the share of the
+/// window that was already present in the previous iteration once both row
+/// and column reuse are available.
+///
+/// For the paper's 5×5 convolution with step (1,1) this is 24/25 (Fig. 5):
+/// each steady-state iteration introduces only `step.x * step.y` new samples.
+pub fn steady_state_reuse(size: Dim2, step: Step2) -> f64 {
+    let total = size.area() as f64;
+    if total == 0.0 {
+        return 0.0;
+    }
+    let fresh = (step.x.min(size.w) as u64 * step.y.min(size.h) as u64) as f64;
+    ((total - fresh) / total).max(0.0)
+}
+
+/// Number of fresh samples required per iteration in the steady state.
+pub fn fresh_samples_per_iteration(size: Dim2, step: Step2) -> u64 {
+    step.x.min(size.w) as u64 * step.y.min(size.h) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_and_display() {
+        let d = Dim2::new(5, 5);
+        assert_eq!(d.area(), 25);
+        assert_eq!(d.to_string(), "(5x5)");
+        assert_eq!(Step2::ONE.to_string(), "[1,1]");
+        assert_eq!(Offset2::new(2.0, 2.0).to_string(), "[2.0,2.0]");
+    }
+
+    #[test]
+    fn halo_matches_paper() {
+        // 5x5 window, unit step: 4x4 halo (§III-A).
+        assert_eq!(halo(Dim2::new(5, 5), Step2::ONE), Dim2::new(4, 4));
+        // 3x3 median: 2x2 halo.
+        assert_eq!(halo(Dim2::new(3, 3), Step2::ONE), Dim2::new(2, 2));
+        // Non-reusing input (step == size): zero halo.
+        assert_eq!(halo(Dim2::new(5, 5), Step2::new(5, 5)), Dim2::new(0, 0));
+    }
+
+    #[test]
+    fn iteration_counts_match_paper_example() {
+        // 100x100 input into a 5x5 convolution: 96x96 iterations (§III-A).
+        assert_eq!(
+            iterations(Dim2::new(100, 100), Dim2::new(5, 5), Step2::ONE),
+            Some(Dim2::new(96, 96))
+        );
+    }
+
+    #[test]
+    fn iterations_rejects_nonfitting_windows() {
+        assert_eq!(iterations(Dim2::new(4, 4), Dim2::new(5, 5), Step2::ONE), None);
+        // Stride does not tile: (10-4)=6 not divisible by 4.
+        assert_eq!(
+            iterations(Dim2::new(10, 10), Dim2::new(4, 4), Step2::new(4, 4)),
+            None
+        );
+        assert_eq!(
+            iterations(Dim2::new(10, 10), Dim2::new(2, 2), Step2::new(2, 2)),
+            Some(Dim2::new(5, 5))
+        );
+        assert_eq!(
+            iterations(Dim2::ONE, Dim2::ONE, Step2::new(0, 1)),
+            None
+        );
+    }
+
+    #[test]
+    fn reuse_fraction_matches_fig5() {
+        // 24 of 25 elements reused for the 5x5 step-(1,1) convolution.
+        let r = steady_state_reuse(Dim2::new(5, 5), Step2::ONE);
+        assert!((r - 24.0 / 25.0).abs() < 1e-12);
+        // Coefficient-style input (step == size): no reuse.
+        assert_eq!(steady_state_reuse(Dim2::new(5, 5), Step2::new(5, 5)), 0.0);
+        assert_eq!(fresh_samples_per_iteration(Dim2::new(5, 5), Step2::ONE), 1);
+        assert_eq!(
+            fresh_samples_per_iteration(Dim2::new(5, 5), Step2::new(5, 5)),
+            25
+        );
+    }
+
+    #[test]
+    fn reuse_of_empty_window_is_zero() {
+        assert_eq!(steady_state_reuse(Dim2::new(0, 0), Step2::ONE), 0.0);
+    }
+}

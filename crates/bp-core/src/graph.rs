@@ -1,0 +1,758 @@
+//! The application graph: kernels connected by data channels, plus
+//! data-dependency edges and real-time input specifications (§II).
+
+use crate::error::{BpError, Result};
+use crate::geometry::Dim2;
+use crate::kernel::{KernelDef, KernelSpec, NodeRole};
+use crate::method::TriggerOn;
+use std::collections::HashMap;
+
+/// Identifier of a node in the application graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Identifier of a channel in the application graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ChannelId(pub usize);
+
+/// A (node, port index) endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PortRef {
+    /// The node.
+    pub node: NodeId,
+    /// Input or output port index on that node, depending on context.
+    pub port: usize,
+}
+
+/// A FIFO data channel from an output port to an input port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Channel {
+    /// Producing (node, output port).
+    pub src: PortRef,
+    /// Consuming (node, input port).
+    pub dst: PortRef,
+}
+
+/// A data-dependency edge limiting the parallelism of `dst` to the replica
+/// count of `src` (§IV-B) — e.g. an edge from the application input to a
+/// histogram merge restricts the merge to one instance per frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DepEdge {
+    /// The node whose parallelism bounds the sink.
+    pub src: NodeId,
+    /// The node being limited.
+    pub dst: NodeId,
+}
+
+/// Real-time specification of an application input: its frame size and the
+/// fixed rate at which frames arrive. This is what imposes the throughput
+/// constraint the compiler must meet.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SourceInfo {
+    /// The source node (role [`NodeRole::Source`]).
+    pub node: NodeId,
+    /// Frame dimensions.
+    pub frame: Dim2,
+    /// Frames per second.
+    pub rate_hz: f64,
+}
+
+/// A node: a named kernel instance.
+#[derive(Clone)]
+pub struct Node {
+    /// Instance name, unique in the graph (e.g. `"5x5 Conv_2"`).
+    pub name: String,
+    /// The kernel definition (spec + behavior factory).
+    pub def: KernelDef,
+}
+
+impl Node {
+    /// The node's kernel spec.
+    pub fn spec(&self) -> &KernelSpec {
+        &self.def.spec
+    }
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("name", &self.name)
+            .field("kind", &self.def.spec.kind)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The application graph.
+///
+/// Nodes are never removed (transformations rename/augment instead), so
+/// [`NodeId`]s stay stable across passes. Channels may be retargeted or
+/// removed by passes; removed slots are tombstoned so [`ChannelId`]s of the
+/// survivors stay stable too.
+#[derive(Clone, Default)]
+pub struct AppGraph {
+    nodes: Vec<Node>,
+    channels: Vec<Option<Channel>>,
+    dep_edges: Vec<DepEdge>,
+    sources: Vec<SourceInfo>,
+}
+
+impl std::fmt::Debug for AppGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppGraph")
+            .field("nodes", &self.nodes.len())
+            .field("channels", &self.channel_count())
+            .field("dep_edges", &self.dep_edges.len())
+            .field("sources", &self.sources.len())
+            .finish()
+    }
+}
+
+impl AppGraph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node; returns its id.
+    pub fn add_node(&mut self, name: impl Into<String>, def: KernelDef) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            name: name.into(),
+            def,
+        });
+        id
+    }
+
+    /// Register a source node's real-time input specification.
+    pub fn set_source_info(&mut self, info: SourceInfo) {
+        self.sources.retain(|s| s.node != info.node);
+        self.sources.push(info);
+    }
+
+    /// Add a channel; returns its id.
+    pub fn add_channel(&mut self, src: PortRef, dst: PortRef) -> ChannelId {
+        let id = ChannelId(self.channels.len());
+        self.channels.push(Some(Channel { src, dst }));
+        id
+    }
+
+    /// Remove a channel (tombstoned).
+    pub fn remove_channel(&mut self, id: ChannelId) {
+        self.channels[id.0] = None;
+    }
+
+    /// Retarget an existing channel.
+    pub fn set_channel(&mut self, id: ChannelId, ch: Channel) {
+        self.channels[id.0] = Some(ch);
+    }
+
+    /// Add a data-dependency edge.
+    pub fn add_dep_edge(&mut self, src: NodeId, dst: NodeId) {
+        self.dep_edges.push(DepEdge { src, dst });
+    }
+
+    /// All nodes, by id order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n))
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Node lookup.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable node lookup.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0]
+    }
+
+    /// Find a node by instance name.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.nodes.iter().position(|n| n.name == name).map(NodeId)
+    }
+
+    /// Live channels.
+    pub fn channels(&self) -> impl Iterator<Item = (ChannelId, Channel)> + '_ {
+        self.channels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.map(|c| (ChannelId(i), c)))
+    }
+
+    /// Number of live channels.
+    pub fn channel_count(&self) -> usize {
+        self.channels.iter().flatten().count()
+    }
+
+    /// Channel lookup (panics on a tombstoned id).
+    pub fn channel(&self, id: ChannelId) -> Channel {
+        self.channels[id.0].expect("channel was removed")
+    }
+
+    /// Data-dependency edges.
+    pub fn dep_edges(&self) -> &[DepEdge] {
+        &self.dep_edges
+    }
+
+    /// Real-time input specifications.
+    pub fn sources(&self) -> &[SourceInfo] {
+        &self.sources
+    }
+
+    /// The source info for a node, if it is a registered application input.
+    pub fn source_info(&self, node: NodeId) -> Option<SourceInfo> {
+        self.sources.iter().copied().find(|s| s.node == node)
+    }
+
+    /// Channels entering `node`, ordered by input port index.
+    pub fn in_channels(&self, node: NodeId) -> Vec<(ChannelId, Channel)> {
+        let mut v: Vec<_> = self
+            .channels()
+            .filter(|(_, c)| c.dst.node == node)
+            .collect();
+        v.sort_by_key(|(_, c)| c.dst.port);
+        v
+    }
+
+    /// Channels leaving `node`, ordered by output port index.
+    pub fn out_channels(&self, node: NodeId) -> Vec<(ChannelId, Channel)> {
+        let mut v: Vec<_> = self
+            .channels()
+            .filter(|(_, c)| c.src.node == node)
+            .collect();
+        v.sort_by_key(|(_, c)| c.src.port);
+        v
+    }
+
+    /// The single channel feeding the given input port, if any.
+    pub fn channel_into(&self, node: NodeId, port: usize) -> Option<(ChannelId, Channel)> {
+        self.channels()
+            .find(|(_, c)| c.dst.node == node && c.dst.port == port)
+    }
+
+    /// All channels leaving the given output port (fan-out).
+    pub fn channels_from(&self, node: NodeId, port: usize) -> Vec<(ChannelId, Channel)> {
+        self.channels()
+            .filter(|(_, c)| c.src.node == node && c.src.port == port)
+            .collect()
+    }
+
+    /// Splice a single-input single-output node into an existing channel:
+    /// `src -> dst` becomes `src -> mid -> dst`. Returns the new node id.
+    pub fn splice(
+        &mut self,
+        ch: ChannelId,
+        name: impl Into<String>,
+        def: KernelDef,
+        in_port: usize,
+        out_port: usize,
+    ) -> NodeId {
+        let old = self.channel(ch);
+        let mid = self.add_node(name, def);
+        self.set_channel(
+            ch,
+            Channel {
+                src: old.src,
+                dst: PortRef {
+                    node: mid,
+                    port: in_port,
+                },
+            },
+        );
+        self.add_channel(
+            PortRef {
+                node: mid,
+                port: out_port,
+            },
+            old.dst,
+        );
+        mid
+    }
+
+    /// Topological order of nodes over data channels; edges whose source is
+    /// a [`NodeRole::Feedback`] node are ignored so feedback loops (§III-D)
+    /// do not prevent ordering. Errors if a non-feedback cycle remains.
+    pub fn topo_order(&self) -> Result<Vec<NodeId>> {
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (_, c) in self.channels() {
+            if self.nodes[c.src.node.0].spec().role == NodeRole::Feedback {
+                continue;
+            }
+            succ[c.src.node.0].push(c.dst.node.0);
+            indeg[c.dst.node.0] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        queue.sort_unstable();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            order.push(NodeId(u));
+            for &v in &succ[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(BpError::Validation(
+                "application graph contains a cycle without a feedback kernel".into(),
+            ));
+        }
+        Ok(order)
+    }
+
+    /// Structural validation (§II):
+    /// - every input port has exactly one incoming channel,
+    /// - channel endpoints reference existing ports,
+    /// - no two methods of a kernel trigger on the same (input, arrival),
+    /// - method port references resolve,
+    /// - source nodes have registered rate info and no inputs,
+    /// - the graph is acyclic up to feedback kernels.
+    pub fn validate(&self) -> Result<()> {
+        for (_, ch) in self.channels() {
+            let s = &self.nodes.get(ch.src.node.0).ok_or_else(|| {
+                BpError::Validation(format!("channel source node {:?} missing", ch.src.node))
+            })?;
+            if ch.src.port >= s.spec().outputs.len() {
+                return Err(BpError::Validation(format!(
+                    "channel source port {} out of range on node '{}'",
+                    ch.src.port, s.name
+                )));
+            }
+            let d = &self.nodes.get(ch.dst.node.0).ok_or_else(|| {
+                BpError::Validation(format!("channel dest node {:?} missing", ch.dst.node))
+            })?;
+            if ch.dst.port >= d.spec().inputs.len() {
+                return Err(BpError::Validation(format!(
+                    "channel dest port {} out of range on node '{}'",
+                    ch.dst.port, d.name
+                )));
+            }
+        }
+
+        for (id, node) in self.nodes() {
+            let spec = node.spec();
+            // Input connectivity.
+            for (pi, input) in spec.inputs.iter().enumerate() {
+                let feeds = self
+                    .channels()
+                    .filter(|(_, c)| c.dst.node == id && c.dst.port == pi)
+                    .count();
+                if feeds != 1 {
+                    return Err(BpError::Validation(format!(
+                        "input '{}' of node '{}' has {} incoming channels (need exactly 1)",
+                        input.name, node.name, feeds
+                    )));
+                }
+            }
+            // Method/port references and trigger disjointness.
+            let mut seen: HashMap<(usize, TriggerOn), &str> = HashMap::new();
+            for m in &spec.methods {
+                for t in &m.triggers {
+                    let idx = spec.input_index(&t.input).ok_or_else(|| {
+                        BpError::Validation(format!(
+                            "method '{}' of node '{}' triggers on unknown input '{}'",
+                            m.name, node.name, t.input
+                        ))
+                    })?;
+                    if let Some(prev) = seen.insert((idx, t.on), &m.name) {
+                        return Err(BpError::Validation(format!(
+                            "node '{}': methods '{}' and '{}' both trigger on input '{}' with the same arrival",
+                            node.name, prev, m.name, t.input
+                        )));
+                    }
+                }
+                for o in &m.outputs {
+                    if spec.output_index(o).is_none() {
+                        return Err(BpError::Validation(format!(
+                            "method '{}' of node '{}' writes unknown output '{}'",
+                            m.name, node.name, o
+                        )));
+                    }
+                }
+            }
+            // Sources.
+            if spec.role == NodeRole::Source {
+                if !spec.inputs.is_empty() {
+                    return Err(BpError::Validation(format!(
+                        "source node '{}' must not have inputs",
+                        node.name
+                    )));
+                }
+                if self.source_info(id).is_none() {
+                    return Err(BpError::Validation(format!(
+                        "source node '{}' has no registered frame size/rate",
+                        node.name
+                    )));
+                }
+            }
+        }
+
+        for dep in &self.dep_edges {
+            if dep.src.0 >= self.nodes.len() || dep.dst.0 >= self.nodes.len() {
+                return Err(BpError::Validation("dependency edge references missing node".into()));
+            }
+        }
+
+        self.topo_order().map(|_| ())
+    }
+
+    /// Drop *plumbing* nodes that have no attached channels at all (both
+    /// directions disconnected — e.g. a join/split pair bypassed by the
+    /// pipeline-fusion pass), renumbering the survivors densely. Returns
+    /// `old id -> new id` (`None` for dropped nodes). Only plumbing roles
+    /// are ever dropped; fully disconnected user kernels are left in place
+    /// so mistakes stay visible to validation.
+    pub fn compact(&mut self) -> Vec<Option<NodeId>> {
+        let n = self.nodes.len();
+        let mut attached = vec![false; n];
+        for (_, c) in self.channels() {
+            attached[c.src.node.0] = true;
+            attached[c.dst.node.0] = true;
+        }
+        let keep: Vec<bool> = (0..n)
+            .map(|i| attached[i] || !self.nodes[i].spec().role.is_plumbing())
+            .collect();
+        if keep.iter().all(|k| *k) {
+            return (0..n).map(|i| Some(NodeId(i))).collect();
+        }
+        let mut remap: Vec<Option<NodeId>> = Vec::with_capacity(n);
+        let mut next = 0usize;
+        for k in &keep {
+            if *k {
+                remap.push(Some(NodeId(next)));
+                next += 1;
+            } else {
+                remap.push(None);
+            }
+        }
+        let old_nodes = std::mem::take(&mut self.nodes);
+        self.nodes = old_nodes
+            .into_iter()
+            .zip(&keep)
+            .filter_map(|(node, k)| k.then_some(node))
+            .collect();
+        for c in self.channels.iter_mut().flatten() {
+            let src = remap[c.src.node.0].expect("channel endpoint kept");
+            let dst = remap[c.dst.node.0].expect("channel endpoint kept");
+            c.src.node = src;
+            c.dst.node = dst;
+        }
+        for d in self.dep_edges.iter_mut() {
+            d.src = remap[d.src.0].expect("dep edge endpoint kept");
+            d.dst = remap[d.dst.0].expect("dep edge endpoint kept");
+        }
+        for s in self.sources.iter_mut() {
+            s.node = remap[s.node.0].expect("source kept");
+        }
+        remap
+    }
+
+    /// Count of nodes per role, for reports.
+    pub fn role_census(&self) -> HashMap<NodeRole, usize> {
+        let mut m = HashMap::new();
+        for (_, n) in self.nodes() {
+            *m.entry(n.spec().role).or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+/// Convenience builder offering name-based connection of kernels.
+#[derive(Default)]
+pub struct GraphBuilder {
+    graph: AppGraph,
+}
+
+impl GraphBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a kernel instance.
+    pub fn add(&mut self, name: impl Into<String>, def: KernelDef) -> NodeId {
+        self.graph.add_node(name, def)
+    }
+
+    /// Add an application input: a source node with its frame size and rate.
+    pub fn add_source(
+        &mut self,
+        name: impl Into<String>,
+        def: KernelDef,
+        frame: Dim2,
+        rate_hz: f64,
+    ) -> NodeId {
+        debug_assert_eq!(def.spec.role, NodeRole::Source, "add_source requires a Source kernel");
+        let id = self.graph.add_node(name, def);
+        self.graph.set_source_info(SourceInfo {
+            node: id,
+            frame,
+            rate_hz,
+        });
+        id
+    }
+
+    /// Connect `src_node.output` to `dst_node.input` by port name.
+    /// Panics on unknown port names — those are programming errors in the
+    /// application description.
+    pub fn connect(&mut self, src: NodeId, output: &str, dst: NodeId, input: &str) -> ChannelId {
+        let sp = self
+            .graph
+            .node(src)
+            .spec()
+            .output_index(output)
+            .unwrap_or_else(|| {
+                panic!(
+                    "node '{}' has no output named '{output}'",
+                    self.graph.node(src).name
+                )
+            });
+        let dp = self
+            .graph
+            .node(dst)
+            .spec()
+            .input_index(input)
+            .unwrap_or_else(|| {
+                panic!(
+                    "node '{}' has no input named '{input}'",
+                    self.graph.node(dst).name
+                )
+            });
+        self.graph.add_channel(
+            PortRef {
+                node: src,
+                port: sp,
+            },
+            PortRef {
+                node: dst,
+                port: dp,
+            },
+        )
+    }
+
+    /// Add a data-dependency edge (§IV-B).
+    pub fn dep_edge(&mut self, src: NodeId, dst: NodeId) {
+        self.graph.add_dep_edge(src, dst);
+    }
+
+    /// Validate and return the graph.
+    pub fn build(self) -> Result<AppGraph> {
+        self.graph.validate()?;
+        Ok(self.graph)
+    }
+
+    /// Return the graph without validation (for tests constructing
+    /// deliberately broken graphs).
+    pub fn build_unchecked(self) -> AppGraph {
+        self.graph
+    }
+
+    /// Access the graph under construction.
+    pub fn graph(&self) -> &AppGraph {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{Emitter, FireData, KernelBehavior, KernelSpec};
+    use crate::method::{MethodCost, MethodSpec};
+    use crate::port::{InputSpec, OutputSpec};
+
+    struct Nop;
+    impl KernelBehavior for Nop {
+        fn fire(&mut self, _m: &str, _d: &FireData<'_>, _o: &mut Emitter<'_>) {}
+    }
+
+    fn passthrough_def() -> KernelDef {
+        KernelDef::new(
+            KernelSpec::new("pass")
+                .input(InputSpec::stream("in"))
+                .output(OutputSpec::stream("out"))
+                .method(MethodSpec::on_data(
+                    "run",
+                    "in",
+                    vec!["out".into()],
+                    MethodCost::new(1, 0),
+                )),
+            || Nop,
+        )
+    }
+
+    fn source_def() -> KernelDef {
+        KernelDef::new(
+            KernelSpec::new("source")
+                .with_role(NodeRole::Source)
+                .output(OutputSpec::stream("out"))
+                .method(MethodSpec::source("gen", vec!["out".into()], MethodCost::new(0, 0))),
+            || Nop,
+        )
+    }
+
+    fn sink_def() -> KernelDef {
+        KernelDef::new(
+            KernelSpec::new("sink")
+                .with_role(NodeRole::Sink)
+                .input(InputSpec::stream("in"))
+                .method(MethodSpec::on_data("take", "in", vec![], MethodCost::new(0, 0))),
+            || Nop,
+        )
+    }
+
+    fn small_pipeline() -> GraphBuilder {
+        let mut b = GraphBuilder::new();
+        let s = b.add_source("Input", source_def(), Dim2::new(4, 4), 10.0);
+        let k = b.add("K", passthrough_def());
+        let t = b.add("Out", sink_def());
+        b.connect(s, "out", k, "in");
+        b.connect(k, "out", t, "in");
+        b
+    }
+
+    #[test]
+    fn builds_and_validates() {
+        let g = small_pipeline().build().expect("valid graph");
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.channel_count(), 2);
+        assert_eq!(g.sources().len(), 1);
+        let order = g.topo_order().unwrap();
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[0], NodeId(0));
+    }
+
+    #[test]
+    fn unconnected_input_fails_validation() {
+        let mut b = GraphBuilder::new();
+        b.add("K", passthrough_def());
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("incoming channels"));
+    }
+
+    #[test]
+    fn duplicate_trigger_fails_validation() {
+        let spec = KernelSpec::new("dup")
+            .input(InputSpec::stream("in"))
+            .output(OutputSpec::stream("out"))
+            .method(MethodSpec::on_data("a", "in", vec![], MethodCost::default()))
+            .method(MethodSpec::on_data("b", "in", vec![], MethodCost::default()));
+        let def = KernelDef::new(spec, || Nop);
+        let mut b = GraphBuilder::new();
+        let s = b.add_source("Input", source_def(), Dim2::new(4, 4), 10.0);
+        let k = b.add("K", def);
+        b.connect(s, "out", k, "in");
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("both trigger"));
+    }
+
+    #[test]
+    fn cycle_without_feedback_fails() {
+        let mut b = GraphBuilder::new();
+        let a = b.add("A", passthrough_def());
+        let c = b.add("C", passthrough_def());
+        b.connect(a, "out", c, "in");
+        b.connect(c, "out", a, "in");
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn splice_inserts_between() {
+        let b = small_pipeline();
+        let mut g = b.build_unchecked();
+        let k = g.find_node("K").unwrap();
+        let (ch, _) = g.channel_into(k, 0).unwrap();
+        let mid = g.splice(ch, "Mid", passthrough_def(), 0, 0);
+        g.validate().expect("still valid");
+        let (_, into_mid) = g.channel_into(mid, 0).unwrap();
+        assert_eq!(into_mid.src.node, g.find_node("Input").unwrap());
+        let (_, into_k) = g.channel_into(k, 0).unwrap();
+        assert_eq!(into_k.src.node, mid);
+    }
+
+    #[test]
+    fn source_without_info_fails() {
+        let mut b = GraphBuilder::new();
+        let s = b.graph.add_node("Input", source_def()); // bypass add_source
+        let t = b.add("Out", sink_def());
+        b.graph.add_channel(
+            PortRef { node: s, port: 0 },
+            PortRef { node: t, port: 0 },
+        );
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("no registered frame"));
+    }
+
+    #[test]
+    fn compact_drops_detached_plumbing_only() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_source("Input", source_def(), Dim2::new(4, 4), 10.0);
+        let k = b.add("K", passthrough_def());
+        let t = b.add("Out", sink_def());
+        let c1 = b.connect(s, "out", k, "in");
+        let c2 = b.connect(k, "out", t, "in");
+        let mut g = b.build_unchecked();
+        // Add a split node, then detach it completely.
+        let split_spec = KernelSpec::new("split_rr")
+            .with_role(NodeRole::Split)
+            .input(InputSpec::stream("in"))
+            .output(OutputSpec::stream("out0"))
+            .method(MethodSpec::on_data("dispatch", "in", vec!["out0".into()], MethodCost::new(1, 0)));
+        let orphan = g.add_node("Orphan", KernelDef::new(split_spec, || Nop));
+        assert_eq!(g.node_count(), 4);
+        let remap = g.compact();
+        assert_eq!(g.node_count(), 3);
+        assert!(remap[orphan.0].is_none());
+        assert!(g.find_node("Orphan").is_none());
+        // Surviving channels still line up after renumbering.
+        g.validate().unwrap();
+        let (_, ch1) = (c1, g.channel(c1));
+        let (_, ch2) = (c2, g.channel(c2));
+        assert_eq!(g.node(ch1.src.node).name, "Input");
+        assert_eq!(g.node(ch2.dst.node).name, "Out");
+        // Source info was remapped.
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.node(g.sources()[0].node).name, "Input");
+    }
+
+    #[test]
+    fn compact_keeps_disconnected_user_kernels() {
+        let mut b = GraphBuilder::new();
+        b.add("Lonely", passthrough_def());
+        let mut g = b.build_unchecked();
+        g.compact();
+        assert!(g.find_node("Lonely").is_some(), "user kernels stay visible");
+    }
+
+    #[test]
+    fn fanout_and_queries() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_source("Input", source_def(), Dim2::new(4, 4), 10.0);
+        let k1 = b.add("K1", passthrough_def());
+        let k2 = b.add("K2", passthrough_def());
+        let t1 = b.add("O1", sink_def());
+        let t2 = b.add("O2", sink_def());
+        b.connect(s, "out", k1, "in");
+        b.connect(s, "out", k2, "in");
+        b.connect(k1, "out", t1, "in");
+        b.connect(k2, "out", t2, "in");
+        let g = b.build().unwrap();
+        assert_eq!(g.channels_from(s, 0).len(), 2);
+        assert_eq!(g.out_channels(s).len(), 2);
+        assert_eq!(g.in_channels(k1).len(), 1);
+        let census = g.role_census();
+        assert_eq!(census[&NodeRole::Sink], 2);
+        assert_eq!(census[&NodeRole::User], 2);
+    }
+}

@@ -1,0 +1,528 @@
+//! Kernel definitions: static specification plus executable behavior.
+//!
+//! A kernel is described by a [`KernelSpec`] — its parameterized inputs and
+//! outputs, registered methods, resource costs, and parallelization class —
+//! and brought to life by a [`KernelBehavior`], the method bodies. Behaviors
+//! are produced by a factory so that the compiler can replicate a kernel and
+//! every replica gets fresh private state.
+
+use crate::geometry::Dim2;
+use crate::item::{Item, Window};
+use crate::method::MethodSpec;
+use crate::port::{InputSpec, OutputSpec};
+use crate::token::{ControlToken, CustomTokenDecl};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The structural role a node plays in the application graph. User kernels
+/// are written by the programmer; the remaining roles are inserted by the
+/// compiler's transformation passes and treated specially by later passes
+/// (e.g. buffers parallelize by column splitting, sources are never
+/// multiplexed with other kernels).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeRole {
+    /// A programmer-written computation kernel.
+    User,
+    /// An application input (frame source).
+    Source,
+    /// An application output collector.
+    Sink,
+    /// A constant/coefficient provider.
+    Const,
+    /// A compiler-inserted 2-D circular buffer (§III-B).
+    Buffer,
+    /// A round-robin or column-wise data distributor (§IV).
+    Split,
+    /// The matching in-order collector (§IV).
+    Join,
+    /// Fan-out copy for replicated inputs (§IV-A).
+    Replicate,
+    /// Trim kernel discarding halo rows/columns (§III-C).
+    Inset,
+    /// Padding kernel enlarging data with zeros or mirrored samples (§III-C).
+    Pad,
+    /// Feedback-loop breaker providing initial values (§III-D).
+    Feedback,
+}
+
+impl NodeRole {
+    /// True for compiler-inserted plumbing (everything except user kernels,
+    /// sources, sinks and constants).
+    pub fn is_plumbing(&self) -> bool {
+        matches!(
+            self,
+            NodeRole::Buffer
+                | NodeRole::Split
+                | NodeRole::Join
+                | NodeRole::Replicate
+                | NodeRole::Inset
+                | NodeRole::Pad
+        )
+    }
+}
+
+/// How a node transforms the *logical* data shape flowing through it, used
+/// by the data-flow analysis (§III-A).
+///
+/// Most kernels are [`Windowed`](ShapeTransform::Windowed): their iteration
+/// grid follows from their input parameterization and the output shape is
+/// `iterations × output size`. Compiler-inserted plumbing (buffers,
+/// split/join, replicate) re-grains or re-routes the stream without changing
+/// the logical image, and trim/pad kernels change the shape by explicit
+/// margins.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ShapeTransform {
+    /// Output shape = iteration grid × output size (the default).
+    Windowed,
+    /// Logical shape passes through unchanged (split/join, replicate).
+    Transparent,
+    /// Logical output shape is a construction-time constant — used by
+    /// buffers (which know the data extent they were sized for) and by
+    /// column-group joins (which reassemble the full extent from narrowed
+    /// branches).
+    Fixed {
+        /// The constant logical extent.
+        data: Dim2,
+    },
+    /// Trim margins off the logical shape (inset kernels, §III-C).
+    Crop {
+        /// Columns removed at the left edge.
+        left: u32,
+        /// Columns removed at the right edge.
+        right: u32,
+        /// Rows removed at the top edge.
+        top: u32,
+        /// Rows removed at the bottom edge.
+        bottom: u32,
+    },
+    /// Add margins to the logical shape (pad kernels, §III-C).
+    Pad {
+        /// Columns added at the left edge.
+        left: u32,
+        /// Columns added at the right edge.
+        right: u32,
+        /// Rows added at the top edge.
+        top: u32,
+        /// Rows added at the bottom edge.
+        bottom: u32,
+    },
+}
+
+/// How a kernel may be parallelized (§IV).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Parallelism {
+    /// Fully data parallel: replicate behind round-robin split/join.
+    DataParallel,
+    /// Serial: never replicated (state carries across iterations in an
+    /// order-dependent way), e.g. the histogram merge.
+    Serial,
+    /// Storage-bound buffer: parallelized by column-wise splitting with halo
+    /// replication (§IV-C, Fig. 10) rather than by round-robin.
+    ColumnSplit,
+}
+
+/// Static description of a kernel.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KernelSpec {
+    /// Kernel type name (e.g. `"conv2d"`), for reports and diagnostics.
+    pub kind: String,
+    /// Structural role of the node.
+    pub role: NodeRole,
+    /// Parameterized inputs.
+    pub inputs: Vec<InputSpec>,
+    /// Parameterized outputs.
+    pub outputs: Vec<OutputSpec>,
+    /// Registered methods.
+    pub methods: Vec<MethodSpec>,
+    /// Parallelization class.
+    pub parallelism: Parallelism,
+    /// Persistent private state in words (in addition to per-method working
+    /// memory), e.g. the coefficient array or histogram bins.
+    pub state_words: u64,
+    /// User-defined control tokens this kernel may emit (§II-C).
+    pub custom_tokens: Vec<CustomTokenDecl>,
+    /// How the node transforms the logical data shape (§III-A).
+    pub shape: ShapeTransform,
+}
+
+impl KernelSpec {
+    /// A new user kernel spec with the given type name.
+    pub fn new(kind: impl Into<String>) -> Self {
+        Self {
+            kind: kind.into(),
+            role: NodeRole::User,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            methods: Vec::new(),
+            parallelism: Parallelism::DataParallel,
+            state_words: 0,
+            custom_tokens: Vec::new(),
+            shape: ShapeTransform::Windowed,
+        }
+    }
+
+    /// Set the node role.
+    pub fn with_role(mut self, role: NodeRole) -> Self {
+        self.role = role;
+        self
+    }
+
+    /// Add an input.
+    pub fn input(mut self, i: InputSpec) -> Self {
+        self.inputs.push(i);
+        self
+    }
+
+    /// Add an output.
+    pub fn output(mut self, o: OutputSpec) -> Self {
+        self.outputs.push(o);
+        self
+    }
+
+    /// Register a method.
+    pub fn method(mut self, m: MethodSpec) -> Self {
+        self.methods.push(m);
+        self
+    }
+
+    /// Set the parallelization class.
+    pub fn with_parallelism(mut self, p: Parallelism) -> Self {
+        self.parallelism = p;
+        self
+    }
+
+    /// Set the persistent state footprint.
+    pub fn with_state_words(mut self, words: u64) -> Self {
+        self.state_words = words;
+        self
+    }
+
+    /// Declare a custom control token.
+    pub fn custom_token(mut self, decl: CustomTokenDecl) -> Self {
+        self.custom_tokens.push(decl);
+        self
+    }
+
+    /// Set the logical shape transform.
+    pub fn with_shape(mut self, shape: ShapeTransform) -> Self {
+        self.shape = shape;
+        self
+    }
+
+    /// Index of the input port with the given name.
+    pub fn input_index(&self, name: &str) -> Option<usize> {
+        self.inputs.iter().position(|i| i.name == name)
+    }
+
+    /// Index of the output port with the given name.
+    pub fn output_index(&self, name: &str) -> Option<usize> {
+        self.outputs.iter().position(|o| o.name == name)
+    }
+
+    /// Index of the method with the given name.
+    pub fn method_index(&self, name: &str) -> Option<usize> {
+        self.methods.iter().position(|m| m.name == name)
+    }
+
+    /// Total memory footprint of one instance: persistent state plus the
+    /// maximum working memory over all methods, plus the implicit one-
+    /// iteration I/O buffers on every port (§II-A).
+    pub fn memory_words(&self) -> u64 {
+        let working = self.methods.iter().map(|m| m.cost.memory_words).max().unwrap_or(0);
+        let io: u64 = self
+            .inputs
+            .iter()
+            .map(|i| i.size.area())
+            .chain(self.outputs.iter().map(|o| o.size.area()))
+            .sum();
+        self.state_words + working + io
+    }
+
+    /// The worst-case cycles of any single method, used for coarse estimates.
+    pub fn max_method_cycles(&self) -> u64 {
+        self.methods.iter().map(|m| m.cost.cycles).max().unwrap_or(0)
+    }
+}
+
+/// Items consumed by one method firing, keyed by input port index.
+pub struct FireData<'a> {
+    items: &'a [(usize, Item)],
+    spec: &'a KernelSpec,
+}
+
+impl<'a> FireData<'a> {
+    /// Build from consumed `(input index, item)` pairs.
+    pub fn new(spec: &'a KernelSpec, items: &'a [(usize, Item)]) -> Self {
+        Self { items, spec }
+    }
+
+    /// The consumed item on the named input. Panics if the input was not
+    /// part of this firing's trigger set — that is an executor bug.
+    pub fn item(&self, input: &str) -> &Item {
+        let idx = self
+            .spec
+            .input_index(input)
+            .unwrap_or_else(|| panic!("kernel {} has no input {input}", self.spec.kind));
+        self.items
+            .iter()
+            .find(|(i, _)| *i == idx)
+            .map(|(_, it)| it)
+            .unwrap_or_else(|| panic!("input {input} was not consumed by this firing"))
+    }
+
+    /// The consumed data window on the named input. Panics if the firing
+    /// consumed a control token there.
+    pub fn window(&self, input: &str) -> &Window {
+        self.item(input)
+            .window()
+            .unwrap_or_else(|| panic!("input {input} received a control token, not data"))
+    }
+
+    /// The consumed control token on the named input.
+    pub fn token(&self, input: &str) -> ControlToken {
+        self.item(input)
+            .control()
+            .unwrap_or_else(|| panic!("input {input} received data, not a control token"))
+    }
+
+    /// Raw consumed `(input index, item)` pairs.
+    pub fn raw(&self) -> &[(usize, Item)] {
+        self.items
+    }
+}
+
+/// Collects items emitted by one method firing, keyed by output port index.
+pub struct Emitter<'a> {
+    spec: &'a KernelSpec,
+    emitted: Vec<(usize, Item)>,
+    actual_cycles: Option<u64>,
+}
+
+impl<'a> Emitter<'a> {
+    /// New empty emitter for a kernel.
+    pub fn new(spec: &'a KernelSpec) -> Self {
+        Self {
+            spec,
+            emitted: Vec::new(),
+            actual_cycles: None,
+        }
+    }
+
+    /// Report this firing's *actual* data-dependent cycle count, overriding
+    /// the method's declared cost in the timed simulator. The declared cost
+    /// remains the compile-time budget; a firing that reports more than its
+    /// budget raises a runtime resource exception in the simulation report
+    /// (§VII's motion-vector-search scenario: per-iteration work that
+    /// varies with the data).
+    pub fn report_cycles(&mut self, cycles: u64) {
+        self.actual_cycles = Some(cycles);
+    }
+
+    /// Emit a data window on the named output.
+    pub fn window(&mut self, output: &str, w: Window) {
+        let idx = self
+            .spec
+            .output_index(output)
+            .unwrap_or_else(|| panic!("kernel {} has no output {output}", self.spec.kind));
+        self.emitted.push((idx, Item::Window(w)));
+    }
+
+    /// Emit a control token on the named output.
+    pub fn token(&mut self, output: &str, t: ControlToken) {
+        let idx = self
+            .spec
+            .output_index(output)
+            .unwrap_or_else(|| panic!("kernel {} has no output {output}", self.spec.kind));
+        self.emitted.push((idx, Item::Control(t)));
+    }
+
+    /// Emit an item by output index (used by generic forwarding code).
+    pub fn item_at(&mut self, output_idx: usize, item: Item) {
+        assert!(output_idx < self.spec.outputs.len(), "output index out of range");
+        self.emitted.push((output_idx, item));
+    }
+
+    /// The emitted `(output index, item)` pairs, in emission order.
+    pub fn into_items(self) -> Vec<(usize, Item)> {
+        self.emitted
+    }
+
+    /// The emitted items plus the reported actual cycle count, if any.
+    pub fn into_parts(self) -> (Vec<(usize, Item)>, Option<u64>) {
+        (self.emitted, self.actual_cycles)
+    }
+}
+
+/// Executable kernel state: the method bodies.
+///
+/// The executor calls [`fire`](Self::fire) when a method's trigger set is
+/// satisfied *and* [`ready`](Self::ready) returns true; the consumed items
+/// arrive in `data`, and outputs are written through `out`. Methods of the
+/// same kernel share `self` — the paper's "methods share data private to the
+/// kernel".
+pub trait KernelBehavior: Send {
+    /// Execute the named method.
+    fn fire(&mut self, method: &str, data: &FireData<'_>, out: &mut Emitter<'_>);
+
+    /// Additional firing gate beyond trigger satisfaction. Used by FSM
+    /// kernels (round-robin joins take inputs in order) and by kernels with
+    /// initialization ordering (a convolution is not ready until its
+    /// coefficients are loaded). Defaults to always ready.
+    fn ready(&self, _method: &str) -> bool {
+        true
+    }
+}
+
+/// Factory producing fresh behavior instances, so replication yields
+/// independent private state.
+pub type BehaviorFactory = Arc<dyn Fn() -> Box<dyn KernelBehavior> + Send + Sync>;
+
+/// A complete kernel definition: spec plus behavior factory. This is what
+/// kernel libraries hand to [`GraphBuilder::add`](crate::graph::GraphBuilder).
+#[derive(Clone)]
+pub struct KernelDef {
+    /// Static description.
+    pub spec: KernelSpec,
+    /// Behavior factory.
+    pub factory: BehaviorFactory,
+}
+
+impl KernelDef {
+    /// Bundle a spec with a behavior constructor.
+    pub fn new<B, F>(spec: KernelSpec, make: F) -> Self
+    where
+        B: KernelBehavior + 'static,
+        F: Fn() -> B + Send + Sync + 'static,
+    {
+        Self {
+            spec,
+            factory: Arc::new(move || Box::new(make())),
+        }
+    }
+}
+
+impl std::fmt::Debug for KernelDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelDef").field("spec", &self.spec).finish_non_exhaustive()
+    }
+}
+
+/// Convenience helper: sum of data words read by one firing of `method`
+/// given the kernel spec (tokens are free). Used for I/O time accounting.
+pub fn method_read_words(spec: &KernelSpec, method: &MethodSpec) -> u64 {
+    method
+        .trigger_inputs()
+        .filter_map(|n| spec.input_index(n))
+        .map(|i| spec.inputs[i].size.area())
+        .sum()
+}
+
+/// Upper bound on data words written by one firing of `method`.
+pub fn method_write_words(spec: &KernelSpec, method: &MethodSpec) -> u64 {
+    method
+        .outputs
+        .iter()
+        .filter_map(|n| spec.output_index(n))
+        .map(|o| spec.outputs[o].size.area())
+        .sum()
+}
+
+/// Data dimensions helper re-export for kernel implementors.
+pub fn dim(w: u32, h: u32) -> Dim2 {
+    Dim2::new(w, h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::MethodCost;
+    use crate::port::{InputSpec, OutputSpec};
+
+    fn conv_like_spec() -> KernelSpec {
+        KernelSpec::new("conv2d")
+            .input(InputSpec::windowed("in", Dim2::new(5, 5), crate::geometry::Step2::ONE))
+            .input(InputSpec::block("coeff", Dim2::new(5, 5)).replicated())
+            .output(OutputSpec::stream("out"))
+            .method(MethodSpec::on_data(
+                "runConvolve",
+                "in",
+                vec!["out".into()],
+                MethodCost::new(85, 25),
+            ))
+            .method(MethodSpec::on_data(
+                "loadCoeff",
+                "coeff",
+                vec![],
+                MethodCost::new(60, 25),
+            ))
+            .with_state_words(25)
+    }
+
+    #[test]
+    fn index_lookups() {
+        let s = conv_like_spec();
+        assert_eq!(s.input_index("in"), Some(0));
+        assert_eq!(s.input_index("coeff"), Some(1));
+        assert_eq!(s.input_index("nope"), None);
+        assert_eq!(s.output_index("out"), Some(0));
+        assert_eq!(s.method_index("loadCoeff"), Some(1));
+    }
+
+    #[test]
+    fn memory_accounting_includes_state_working_and_io() {
+        let s = conv_like_spec();
+        // state 25 + working max(25,25) + io (25 + 25 + 1)
+        assert_eq!(s.memory_words(), 25 + 25 + 51);
+        assert_eq!(s.max_method_cycles(), 85);
+    }
+
+    #[test]
+    fn io_word_counts() {
+        let s = conv_like_spec();
+        let run = &s.methods[0];
+        assert_eq!(method_read_words(&s, run), 25);
+        assert_eq!(method_write_words(&s, run), 1);
+        let load = &s.methods[1];
+        assert_eq!(method_read_words(&s, load), 25);
+        assert_eq!(method_write_words(&s, load), 0);
+    }
+
+    #[test]
+    fn emitter_records_in_order() {
+        let s = conv_like_spec();
+        let mut e = Emitter::new(&s);
+        e.window("out", Window::scalar(1.0));
+        e.token("out", ControlToken::EndOfFrame);
+        let items = e.into_items();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].0, 0);
+        assert!(items[0].1.is_window());
+        assert!(!items[1].1.is_window());
+    }
+
+    #[test]
+    fn fire_data_lookup() {
+        let s = conv_like_spec();
+        let items = vec![(0usize, Item::Window(Window::filled(Dim2::new(5, 5), 2.0)))];
+        let d = FireData::new(&s, &items);
+        assert_eq!(d.window("in").get(0, 0), 2.0);
+        assert_eq!(d.raw().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "was not consumed")]
+    fn fire_data_missing_input_panics() {
+        let s = conv_like_spec();
+        let items: Vec<(usize, Item)> = vec![];
+        let d = FireData::new(&s, &items);
+        let _ = d.window("in");
+    }
+
+    #[test]
+    fn plumbing_roles() {
+        assert!(NodeRole::Buffer.is_plumbing());
+        assert!(NodeRole::Split.is_plumbing());
+        assert!(!NodeRole::User.is_plumbing());
+        assert!(!NodeRole::Source.is_plumbing());
+    }
+}

@@ -1,0 +1,161 @@
+//! Target machine description and kernel-to-processor mappings.
+//!
+//! The paper's analyses consume a small set of per-processing-element
+//! scalars: compute capacity (cycles/second), local storage, and per-word
+//! data access cost. The compiler sizes parallelism against these and the
+//! timing-accurate simulator charges them per firing.
+
+use serde::{Deserialize, Serialize};
+
+/// Description of one target many-core machine's processing elements.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Compute capacity per PE in cycles per second.
+    pub pe_clock_hz: f64,
+    /// Local storage per PE in words.
+    pub pe_memory_words: u64,
+    /// Cycles charged per word read from a kernel input. Fractional values
+    /// model PEs that move several words per cycle from local storage.
+    pub read_cost_per_word: f64,
+    /// Cycles charged per word written to a kernel output.
+    pub write_cost_per_word: f64,
+    /// Fraction of a PE's cycles the compiler may budget (headroom guard
+    /// against scheduling jitter); 1.0 = budget the full PE.
+    pub utilization_cap: f64,
+}
+
+impl MachineSpec {
+    /// The default evaluation machine used throughout the reproduction:
+    /// 1 MHz PEs with 320 words of local storage, moving a 16-word line per
+    /// cycle to/from local storage (0.0625 cycles per word). These constants are
+    /// tuned (see DESIGN.md §6) so the running example reproduces the
+    /// paper's Fig. 4 replica counts and so split/join FSMs — which copy
+    /// whole windows — stay below one PE at the evaluated rates.
+    pub fn default_eval() -> Self {
+        Self {
+            pe_clock_hz: 1_000_000.0,
+            pe_memory_words: 320,
+            read_cost_per_word: 0.0625,
+            write_cost_per_word: 0.0625,
+            utilization_cap: 0.95,
+        }
+    }
+
+    /// Usable cycles per second after the utilization cap.
+    pub fn usable_cycles_per_sec(&self) -> f64 {
+        self.pe_clock_hz * self.utilization_cap
+    }
+
+    /// A machine with `factor`× the default PE clock (sensitivity sweeps).
+    pub fn scaled_clock(factor: f64) -> Self {
+        Self {
+            pe_clock_hz: 1_000_000.0 * factor,
+            ..Self::default_eval()
+        }
+    }
+
+    /// A storage-starved machine: 60% of the default local memory — still
+    /// enough for every kernel instance, but line buffers split earlier.
+    pub fn tight_memory() -> Self {
+        Self {
+            pe_memory_words: 192,
+            ..Self::default_eval()
+        }
+    }
+
+    /// A machine with a narrow (1 word/cycle) local-store port, making data
+    /// movement as expensive as the paper's FSM kernels can tolerate.
+    pub fn narrow_port() -> Self {
+        Self {
+            read_cost_per_word: 1.0,
+            write_cost_per_word: 1.0,
+            ..Self::default_eval()
+        }
+    }
+}
+
+impl Default for MachineSpec {
+    fn default() -> Self {
+        Self::default_eval()
+    }
+}
+
+/// Assignment of graph nodes to processing elements.
+///
+/// Produced by the multiplexing pass (§V): either the naive 1:1 mapping or
+/// the greedy merged mapping. PE indices are dense in `0..num_pes`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Mapping {
+    /// `pe_of_node[node_id] = pe index`.
+    pub pe_of_node: Vec<usize>,
+    /// Number of PEs used.
+    pub num_pes: usize,
+}
+
+impl Mapping {
+    /// The 1:1 mapping for a graph with `n` nodes.
+    pub fn one_to_one(n: usize) -> Self {
+        Self {
+            pe_of_node: (0..n).collect(),
+            num_pes: n,
+        }
+    }
+
+    /// Build from an explicit assignment, renumbering PEs densely.
+    pub fn from_assignment(assign: Vec<usize>) -> Self {
+        let mut remap: Vec<Option<usize>> = vec![None; assign.iter().max().map_or(0, |m| m + 1)];
+        let mut next = 0usize;
+        let mut pe_of_node = Vec::with_capacity(assign.len());
+        for a in assign {
+            let pe = *remap[a].get_or_insert_with(|| {
+                let v = next;
+                next += 1;
+                v
+            });
+            pe_of_node.push(pe);
+        }
+        Self {
+            pe_of_node,
+            num_pes: next,
+        }
+    }
+
+    /// Nodes resident on each PE.
+    pub fn residents(&self) -> Vec<Vec<usize>> {
+        let mut v = vec![Vec::new(); self.num_pes];
+        for (node, &pe) in self.pe_of_node.iter().enumerate() {
+            v[pe].push(node);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_to_one_is_identity() {
+        let m = Mapping::one_to_one(4);
+        assert_eq!(m.num_pes, 4);
+        assert_eq!(m.pe_of_node, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn from_assignment_renumbers_densely() {
+        let m = Mapping::from_assignment(vec![5, 5, 9, 2]);
+        assert_eq!(m.num_pes, 3);
+        assert_eq!(m.pe_of_node, vec![0, 0, 1, 2]);
+        let r = m.residents();
+        assert_eq!(r[0], vec![0, 1]);
+        assert_eq!(r[1], vec![2]);
+        assert_eq!(r[2], vec![3]);
+    }
+
+    #[test]
+    fn usable_cycles_respects_cap() {
+        let m = MachineSpec::default_eval();
+        assert!(m.usable_cycles_per_sec() < m.pe_clock_hz);
+        assert!((m.usable_cycles_per_sec() - 950_000.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,208 @@
+//! Kernel methods and their trigger mappings (§II-B).
+//!
+//! A kernel may register several *methods*, each triggered by a disjoint set
+//! of inputs receiving either data or a specific control token. Methods share
+//! the kernel's private state (e.g. `loadCoeff` writes the coefficient array
+//! that `runConvolve` reads). Each method declares the cycles and memory it
+//! consumes per invocation so the compiler can size the parallelization.
+
+use crate::token::TokenKind;
+use serde::{Deserialize, Serialize};
+
+/// What arrival on an input fires a trigger: a data window or a specific
+/// control token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TriggerOn {
+    /// Fires on a data window.
+    Data,
+    /// Fires on a control token of the given kind.
+    Token(TokenKind),
+}
+
+/// One input participating in a method's trigger set.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Trigger {
+    /// Input port name.
+    pub input: String,
+    /// What must arrive on that input.
+    pub on: TriggerOn,
+}
+
+/// Resource cost of one invocation of a method.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MethodCost {
+    /// Computation cycles consumed per invocation (excluding I/O, which the
+    /// simulator charges separately per word moved).
+    pub cycles: u64,
+    /// Working memory in words required while the method runs.
+    pub memory_words: u64,
+}
+
+impl MethodCost {
+    /// Construct a cost.
+    pub const fn new(cycles: u64, memory_words: u64) -> Self {
+        Self {
+            cycles,
+            memory_words,
+        }
+    }
+}
+
+/// A registered kernel method: its trigger set, the outputs it may write,
+/// and its per-invocation cost.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MethodSpec {
+    /// Method name, unique within the kernel.
+    pub name: String,
+    /// Inputs that must *all* have the required arrival at their queue head
+    /// for the method to fire. Empty for source methods, which are fired by
+    /// the scheduler according to the application input rate.
+    pub triggers: Vec<Trigger>,
+    /// Output ports this method may write.
+    pub outputs: Vec<String>,
+    /// Per-invocation resource cost.
+    pub cost: MethodCost,
+    /// For control-token handlers: the statically bounded maximum invocation
+    /// rate, used by the compiler to budget cycles (§II-C). `None` means the
+    /// rate follows from the data-flow analysis.
+    pub max_rate_hz: Option<f64>,
+}
+
+impl MethodSpec {
+    /// A method triggered by data on a single input.
+    pub fn on_data(
+        name: impl Into<String>,
+        input: impl Into<String>,
+        outputs: Vec<String>,
+        cost: MethodCost,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            triggers: vec![Trigger {
+                input: input.into(),
+                on: TriggerOn::Data,
+            }],
+            outputs,
+            cost,
+            max_rate_hz: None,
+        }
+    }
+
+    /// A method triggered by a control token on a single input.
+    pub fn on_token(
+        name: impl Into<String>,
+        input: impl Into<String>,
+        token: TokenKind,
+        outputs: Vec<String>,
+        cost: MethodCost,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            triggers: vec![Trigger {
+                input: input.into(),
+                on: TriggerOn::Token(token),
+            }],
+            outputs,
+            cost,
+            max_rate_hz: None,
+        }
+    }
+
+    /// A method triggered by data arriving on *all* of the given inputs
+    /// (e.g. the subtract kernel's two operands).
+    pub fn on_all_data(
+        name: impl Into<String>,
+        inputs: &[&str],
+        outputs: Vec<String>,
+        cost: MethodCost,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            triggers: inputs
+                .iter()
+                .map(|i| Trigger {
+                    input: (*i).to_string(),
+                    on: TriggerOn::Data,
+                })
+                .collect(),
+            outputs,
+            cost,
+            max_rate_hz: None,
+        }
+    }
+
+    /// A source method with no triggers, fired by the scheduler.
+    pub fn source(name: impl Into<String>, outputs: Vec<String>, cost: MethodCost) -> Self {
+        Self {
+            name: name.into(),
+            triggers: Vec::new(),
+            outputs,
+            cost,
+            max_rate_hz: None,
+        }
+    }
+
+    /// Set the declared maximum invocation rate.
+    pub fn with_max_rate(mut self, hz: f64) -> Self {
+        self.max_rate_hz = Some(hz);
+        self
+    }
+
+    /// True when this is a source method (no triggers).
+    pub fn is_source(&self) -> bool {
+        self.triggers.is_empty()
+    }
+
+    /// The input names participating in this method's trigger set.
+    pub fn trigger_inputs(&self) -> impl Iterator<Item = &str> {
+        self.triggers.iter().map(|t| t.input.as_str())
+    }
+
+    /// True when the method fires on data (not tokens) for every trigger.
+    pub fn is_data_method(&self) -> bool {
+        !self.triggers.is_empty() && self.triggers.iter().all(|t| t.on == TriggerOn::Data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_build_expected_triggers() {
+        let m = MethodSpec::on_data("run", "in", vec!["out".into()], MethodCost::new(85, 25));
+        assert_eq!(m.triggers.len(), 1);
+        assert!(m.is_data_method());
+        assert!(!m.is_source());
+
+        let t = MethodSpec::on_token(
+            "finish",
+            "in",
+            TokenKind::EndOfFrame,
+            vec!["out".into()],
+            MethodCost::new(99, 32),
+        );
+        assert!(!t.is_data_method());
+        assert_eq!(t.triggers[0].on, TriggerOn::Token(TokenKind::EndOfFrame));
+
+        let s = MethodSpec::source("gen", vec!["out".into()], MethodCost::default());
+        assert!(s.is_source());
+
+        let a = MethodSpec::on_all_data("sub", &["in0", "in1"], vec!["out".into()], MethodCost::default());
+        assert_eq!(a.trigger_inputs().collect::<Vec<_>>(), vec!["in0", "in1"]);
+        assert!(a.is_data_method());
+    }
+
+    #[test]
+    fn max_rate_is_recorded() {
+        let m = MethodSpec::on_token(
+            "ctl",
+            "in",
+            TokenKind::Custom(1),
+            vec![],
+            MethodCost::new(10, 0),
+        )
+        .with_max_rate(50.0);
+        assert_eq!(m.max_rate_hz, Some(50.0));
+    }
+}

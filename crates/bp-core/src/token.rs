@@ -1,0 +1,89 @@
+//! Control tokens (§II-C).
+//!
+//! Besides data, channels carry in-order *control tokens*. The application
+//! inputs generate `EndOfLine` and `EndOfFrame` automatically; kernels may
+//! define their own `Custom` tokens as long as they declare the maximum rate
+//! at which they can be generated, so the compiler can budget resources for
+//! handling them.
+
+use serde::{Deserialize, Serialize};
+
+/// A control token traveling in-order with the data on a channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ControlToken {
+    /// Emitted by an application input after the last pixel of each row.
+    EndOfLine,
+    /// Emitted by an application input after the last pixel of each frame.
+    EndOfFrame,
+    /// A user-defined token, identified by a small id registered on the
+    /// kernel that produces it.
+    Custom(u16),
+}
+
+impl ControlToken {
+    /// The kind of this token, used for method trigger matching.
+    pub fn kind(&self) -> TokenKind {
+        match self {
+            ControlToken::EndOfLine => TokenKind::EndOfLine,
+            ControlToken::EndOfFrame => TokenKind::EndOfFrame,
+            ControlToken::Custom(id) => TokenKind::Custom(*id),
+        }
+    }
+}
+
+impl std::fmt::Display for ControlToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControlToken::EndOfLine => write!(f, "EOL"),
+            ControlToken::EndOfFrame => write!(f, "EOF"),
+            ControlToken::Custom(id) => write!(f, "CTL({id})"),
+        }
+    }
+}
+
+/// Token kinds a method trigger can match on. Identical to [`ControlToken`]
+/// today, but kept separate so matching stays decoupled from payloads if
+/// tokens ever grow data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TokenKind {
+    /// Matches [`ControlToken::EndOfLine`].
+    EndOfLine,
+    /// Matches [`ControlToken::EndOfFrame`].
+    EndOfFrame,
+    /// Matches [`ControlToken::Custom`] with the same id.
+    Custom(u16),
+}
+
+/// Declaration of a user-defined control token: its id and the statically
+/// bounded maximum rate at which the declaring kernel may emit it. The
+/// compiler uses the bound to allocate cycles for downstream handlers
+/// (§II-C).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CustomTokenDecl {
+    /// Token id carried by [`ControlToken::Custom`].
+    pub id: u16,
+    /// Human-readable name for reports.
+    pub name: String,
+    /// Maximum emissions per second, statically guaranteed by the kernel.
+    pub max_rate_hz: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_roundtrip() {
+        assert_eq!(ControlToken::EndOfLine.kind(), TokenKind::EndOfLine);
+        assert_eq!(ControlToken::EndOfFrame.kind(), TokenKind::EndOfFrame);
+        assert_eq!(ControlToken::Custom(7).kind(), TokenKind::Custom(7));
+        assert_ne!(ControlToken::Custom(7).kind(), TokenKind::Custom(8));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(ControlToken::EndOfLine.to_string(), "EOL");
+        assert_eq!(ControlToken::EndOfFrame.to_string(), "EOF");
+        assert_eq!(ControlToken::Custom(3).to_string(), "CTL(3)");
+    }
+}

@@ -1,0 +1,54 @@
+//! # bp-kernels — the standard kernel library
+//!
+//! Behavioral implementations of the kernels used throughout the paper:
+//! user-facing computation kernels (convolution, median, histogram,
+//! point-wise arithmetic, Bayer demosaic, Sobel, downsampling), application
+//! endpoints (frame sources, constant providers, sinks), and the
+//! compiler-inserted plumbing (buffers, split/join FSMs, replicate,
+//! inset/pad, feedback).
+//!
+//! Every kernel is a [`bp_core::KernelDef`]: a static spec (ports, methods,
+//! costs, parallelization class) plus a behavior factory, so the compiler
+//! can replicate instances with independent private state.
+
+#![warn(missing_docs)]
+
+pub mod arith;
+pub mod bayer;
+pub mod buffer;
+pub mod conv;
+pub mod feedback;
+pub mod filters;
+pub mod fir;
+pub mod histogram;
+pub mod inset;
+pub mod join;
+pub mod median;
+pub mod morphology;
+pub mod pad;
+pub mod replicate;
+pub mod sink;
+pub mod source;
+pub mod split;
+pub mod upsample;
+pub mod variable;
+
+pub use arith::{absdiff, add, scale, subtract, threshold};
+pub use bayer::bayer_demosaic;
+pub use buffer::{buffer, buffer_storage_words};
+pub use conv::{binomial_coefficients, box_coefficients, conv2d, identity_coefficients};
+pub use feedback::feedback_frame;
+pub use filters::{downsample, sobel};
+pub use fir::{boxcar_taps, decimate, fir, lowpass_taps};
+pub use histogram::{histogram, histogram_merge, uniform_bins};
+pub use inset::{inset, Margins};
+pub use join::{join_columns, join_rr};
+pub use median::median;
+pub use morphology::{dilate, erode};
+pub use pad::{pad, PadMode};
+pub use replicate::replicate;
+pub use sink::{sink, SinkHandle};
+pub use source::{const_source, frame_source, pattern_source, PixelGen};
+pub use split::{plan_column_ranges, split_columns, split_rr, ColumnRange};
+pub use upsample::{upsample, UpsampleMode};
+pub use variable::{motion_search, SEARCH_BASE_CYCLES, SEARCH_POSITION_CYCLES};

@@ -1,0 +1,30 @@
+//! # bp-sim — functional and timing-accurate simulators
+//!
+//! Executable semantics for block-parallel application graphs.
+//!
+//! - [`runtime`]: shared firing machinery — method trigger matching and
+//!   automatic control-token forwarding (§II-C).
+//! - [`functional`]: deterministic untimed execution (the golden semantics
+//!   used for correctness testing).
+//! - [`timed`]: the timing-accurate functional simulator of §IV-D, modeling
+//!   kernel execution cycles, per-word input read / output write time,
+//!   channel capacity, per-PE time multiplexing and scheduling — but not
+//!   placement/communication delay, matching the paper's simplification.
+//! - [`stats`]: per-PE utilization (run/read/write breakdown), throughput
+//!   measurement, and real-time verdicts.
+//! - [`parallel`]: a host-side batch runner for simulation sweeps (each
+//!   simulation stays deterministic; only the batch is threaded).
+
+#![warn(missing_docs)]
+
+pub mod functional;
+pub mod parallel;
+pub mod runtime;
+pub mod stats;
+pub mod timed;
+
+pub use functional::FunctionalExecutor;
+pub use parallel::run_batch;
+pub use runtime::{Action, Program, RtNode, SourceRt};
+pub use stats::{PeStats, RealTimeVerdict, SimReport};
+pub use timed::{SimConfig, TimedSimulator};

@@ -1,0 +1,117 @@
+//! Host-side parallelism for simulation sweeps: run many independent
+//! simulations (parameter sweeps, benchmark suites, mapping comparisons)
+//! across OS threads. Each simulation itself stays deterministic and
+//! single-threaded; only the batch is parallel, so results are identical to
+//! a sequential run.
+
+use parking_lot::Mutex;
+
+/// Run every job, using up to `std::thread::available_parallelism` worker
+/// threads, and return the results in job order.
+pub fn run_batch<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    if n <= 1 {
+        return jobs.into_iter().map(|j| j()).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let queue: Mutex<Vec<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().rev().collect());
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let job = queue.lock().pop();
+                match job {
+                    Some((i, f)) => {
+                        let r = f();
+                        results.lock()[i] = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("simulation worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every job ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_job_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..32)
+            .map(|i| {
+                let f: Box<dyn FnOnce() -> usize + Send> = Box::new(move || i * i);
+                f
+            })
+            .collect();
+        let got = run_batch(jobs);
+        assert_eq!(got, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_job_runs_inline() {
+        let got = run_batch(vec![|| 42]);
+        assert_eq!(got, vec![42]);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let got: Vec<i32> = run_batch(Vec::<fn() -> i32>::new());
+        assert!(got.is_empty());
+    }
+
+    type SimJob = Box<dyn FnOnce() -> (f64, Vec<f64>) + Send>;
+
+    #[test]
+    fn parallel_simulations_match_sequential() {
+        use crate::{SimConfig, TimedSimulator};
+        use bp_core::Mapping;
+
+        let build = || {
+            let dim = bp_core::Dim2::new(8, 6);
+            let mut b = bp_core::GraphBuilder::new();
+            let src = b.add_source("Input", bp_kernels::pattern_source(dim), dim, 20.0);
+            let sc = b.add("S", bp_kernels::scale(2.0, 0.0));
+            let (sdef, h) = bp_kernels::sink();
+            let snk = b.add("Out", sdef);
+            b.connect(src, "out", sc, "in");
+            b.connect(sc, "out", snk, "in");
+            (b.build().unwrap(), h)
+        };
+
+        let jobs: Vec<SimJob> = (0..8)
+            .map(|_| {
+                let f: SimJob = Box::new(move || {
+                    let (g, h) = build();
+                    let m = Mapping::one_to_one(g.node_count());
+                    let r = TimedSimulator::new(&g, &m, SimConfig::new(1))
+                        .unwrap()
+                        .run()
+                        .unwrap();
+                    (r.sim_time, h.samples())
+                });
+                f
+            })
+            .collect();
+        let results = run_batch(jobs);
+        for (t, samples) in &results {
+            assert_eq!(*t, results[0].0, "deterministic sim time");
+            assert_eq!(samples, &results[0].1, "deterministic data");
+        }
+    }
+}

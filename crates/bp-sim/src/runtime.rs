@@ -1,0 +1,379 @@
+//! Shared runtime machinery: node instances, method trigger matching, and
+//! automatic control-token forwarding (§II-C of the paper).
+//!
+//! Both the untimed functional executor and the timing-accurate simulator
+//! drive the same [`Program`] structure, so functional results are identical
+//! between the two by construction.
+
+use bp_core::graph::AppGraph;
+use bp_core::item::Item;
+use bp_core::kernel::{Emitter, FireData, KernelBehavior, KernelSpec, NodeRole};
+use bp_core::method::TriggerOn;
+use bp_core::token::ControlToken;
+use bp_core::{BpError, Result};
+use std::collections::VecDeque;
+
+/// What a node can do next, given its input queue heads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Fire a registered method, consuming one item from each trigger input.
+    Fire {
+        /// Method index into the spec's method list.
+        method: usize,
+        /// Input port indices to consume from (trigger order).
+        consume: Vec<usize>,
+    },
+    /// Pass an unhandled control token through: consume it from every input
+    /// of a data method's trigger group and re-emit it once, in order, on
+    /// the method's outputs (§II-C).
+    Forward {
+        /// The token being forwarded.
+        token: ControlToken,
+        /// Input port indices to consume from.
+        consume: Vec<usize>,
+        /// Output port indices to emit to.
+        outputs: Vec<usize>,
+    },
+}
+
+/// A kernel instance at run time: spec, private behavior state, and one FIFO
+/// queue per input port.
+pub struct RtNode {
+    /// Instance name (for diagnostics).
+    pub name: String,
+    /// Static spec (cloned from the graph node).
+    pub spec: KernelSpec,
+    /// Executable state.
+    pub behavior: Box<dyn KernelBehavior>,
+    /// One queue per input port.
+    pub queues: Vec<VecDeque<Item>>,
+    /// Total firings, for reports.
+    pub firings: u64,
+}
+
+impl RtNode {
+    fn matches(&self, port: usize, on: TriggerOn) -> bool {
+        match self.queues[port].front() {
+            None => false,
+            Some(Item::Window(_)) => on == TriggerOn::Data,
+            Some(Item::Control(t)) => on == TriggerOn::Token(t.kind()),
+        }
+    }
+
+    /// Decide the next action for this node, or `None` if it cannot progress.
+    ///
+    /// Methods are tried in registration order; automatic token forwarding is
+    /// considered only when no method fires. A token is forwarded for a data
+    /// method's trigger group when the *same* token kind is at the head of
+    /// every input in the group and no method of the kernel handles that
+    /// token on any of those inputs — this implements both the single-input
+    /// pass-through and the "same control token must arrive on both inputs"
+    /// rule for multi-input kernels.
+    pub fn plan(&self) -> Option<Action> {
+        for (mi, m) in self.spec.methods.iter().enumerate() {
+            if m.triggers.is_empty() {
+                continue; // source method; fired externally
+            }
+            let all = m
+                .triggers
+                .iter()
+                .all(|t| self.matches(self.spec.input_index(&t.input).unwrap(), t.on));
+            if all && self.behavior.ready(&m.name) {
+                let consume = m
+                    .triggers
+                    .iter()
+                    .map(|t| self.spec.input_index(&t.input).unwrap())
+                    .collect();
+                return Some(Action::Fire {
+                    method: mi,
+                    consume,
+                });
+            }
+        }
+        // Token forwarding over data-method trigger groups.
+        for m in &self.spec.methods {
+            if !m.is_data_method() {
+                continue;
+            }
+            let ins: Vec<usize> = m
+                .triggers
+                .iter()
+                .map(|t| self.spec.input_index(&t.input).unwrap())
+                .collect();
+            let mut token: Option<ControlToken> = None;
+            let mut all_tokens = true;
+            for &i in &ins {
+                match self.queues[i].front() {
+                    Some(Item::Control(t)) => match token {
+                        None => token = Some(*t),
+                        Some(prev) if prev == *t => {}
+                        Some(_) => {
+                            all_tokens = false;
+                            break;
+                        }
+                    },
+                    _ => {
+                        all_tokens = false;
+                        break;
+                    }
+                }
+            }
+            let Some(tok) = token else { continue };
+            if !all_tokens {
+                continue;
+            }
+            // Suppress forwarding when any method handles this token on any
+            // input of the group (it will fire via the rules above once its
+            // own triggers align).
+            let handled = self.spec.methods.iter().any(|h| {
+                h.triggers.iter().any(|t| {
+                    t.on == TriggerOn::Token(tok.kind())
+                        && ins.contains(&self.spec.input_index(&t.input).unwrap())
+                })
+            });
+            if handled {
+                continue;
+            }
+            let outputs = m
+                .outputs
+                .iter()
+                .filter_map(|o| self.spec.output_index(o))
+                .collect();
+            return Some(Action::Forward {
+                token: tok,
+                consume: ins,
+                outputs,
+            });
+        }
+        None
+    }
+
+    /// Execute an action, returning the emitted `(output port, item)` pairs.
+    pub fn execute(&mut self, action: &Action) -> Vec<(usize, Item)> {
+        self.execute_with_cost(action).0
+    }
+
+    /// Execute an action, returning the emitted items plus the behavior's
+    /// reported actual cycle count (for data-dependent-cost kernels; `None`
+    /// means the declared method cost applies).
+    pub fn execute_with_cost(&mut self, action: &Action) -> (Vec<(usize, Item)>, Option<u64>) {
+        self.firings += 1;
+        match action {
+            Action::Fire { method, consume } => {
+                let consumed: Vec<(usize, Item)> = consume
+                    .iter()
+                    .map(|&p| {
+                        (
+                            p,
+                            self.queues[p]
+                                .pop_front()
+                                .expect("planned input disappeared"),
+                        )
+                    })
+                    .collect();
+                let mname = self.spec.methods[*method].name.clone();
+                let data = FireData::new(&self.spec, &consumed);
+                let mut out = Emitter::new(&self.spec);
+                self.behavior.fire(&mname, &data, &mut out);
+                out.into_parts()
+            }
+            Action::Forward {
+                token,
+                consume,
+                outputs,
+            } => {
+                for &p in consume {
+                    let it = self.queues[p].pop_front().expect("planned token disappeared");
+                    debug_assert!(matches!(it, Item::Control(t) if t == *token));
+                }
+                (
+                    outputs
+                        .iter()
+                        .map(|&o| (o, Item::Control(*token)))
+                        .collect(),
+                    None,
+                )
+            }
+        }
+    }
+
+    /// Total items currently queued on this node's inputs.
+    pub fn queued_items(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+}
+
+/// Per-source runtime info: how the scheduler paces its firings.
+#[derive(Clone, Copy, Debug)]
+pub struct SourceRt {
+    /// Node index in [`Program::nodes`].
+    pub node: usize,
+    /// Index of the source method to fire.
+    pub method: usize,
+    /// Frame dimensions (pixels are emitted one per firing).
+    pub frame: bp_core::Dim2,
+    /// Frames per second.
+    pub rate_hz: f64,
+}
+
+/// An executable instantiation of an [`AppGraph`].
+pub struct Program {
+    /// Node instances, indexed like the graph's nodes.
+    pub nodes: Vec<RtNode>,
+    /// `routes[node][out_port]` → destinations `(node, in_port)`.
+    pub routes: Vec<Vec<Vec<(usize, usize)>>>,
+    /// Application inputs (role `Source`), paced per their rate.
+    pub sources: Vec<SourceRt>,
+    /// Constant providers (role `Const`), fired once at startup.
+    pub consts: Vec<(usize, usize)>,
+}
+
+impl Program {
+    /// Instantiate a validated graph: create behaviors and routing tables.
+    pub fn instantiate(graph: &AppGraph) -> Result<Self> {
+        graph.validate()?;
+        let mut nodes = Vec::with_capacity(graph.node_count());
+        let mut routes = Vec::with_capacity(graph.node_count());
+        for (_, n) in graph.nodes() {
+            let spec = n.spec().clone();
+            let queues = vec![VecDeque::new(); spec.inputs.len()];
+            routes.push(vec![Vec::new(); spec.outputs.len()]);
+            nodes.push(RtNode {
+                name: n.name.clone(),
+                spec,
+                behavior: (n.def.factory)(),
+                queues,
+                firings: 0,
+            });
+        }
+        for (_, c) in graph.channels() {
+            routes[c.src.node.0][c.src.port].push((c.dst.node.0, c.dst.port));
+        }
+        let mut sources = Vec::new();
+        let mut consts = Vec::new();
+        for (id, n) in graph.nodes() {
+            let spec = n.spec();
+            let src_method = spec.methods.iter().position(|m| m.is_source());
+            match spec.role {
+                NodeRole::Source => {
+                    let method = src_method.ok_or_else(|| {
+                        BpError::Validation(format!(
+                            "source node '{}' has no source method",
+                            n.name
+                        ))
+                    })?;
+                    let info = graph.source_info(id).ok_or_else(|| {
+                        BpError::Validation(format!("source node '{}' missing info", n.name))
+                    })?;
+                    sources.push(SourceRt {
+                        node: id.0,
+                        method,
+                        frame: info.frame,
+                        rate_hz: info.rate_hz,
+                    });
+                }
+                NodeRole::Const => {
+                    let method = src_method.ok_or_else(|| {
+                        BpError::Validation(format!(
+                            "const node '{}' has no source method",
+                            n.name
+                        ))
+                    })?;
+                    consts.push((id.0, method));
+                }
+                // Feedback kernels prime their loop once at startup
+                // (§III-D) via their trigger-less init method.
+                NodeRole::Feedback => {
+                    if let Some(method) = src_method {
+                        consts.push((id.0, method));
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(Self {
+            nodes,
+            routes,
+            sources,
+            consts,
+        })
+    }
+
+    /// Deliver emitted items to the successor queues (fan-out duplicates).
+    pub fn route(&mut self, from: usize, emitted: Vec<(usize, Item)>) {
+        for (port, item) in emitted {
+            let dests = &self.routes[from][port];
+            match dests.len() {
+                0 => {} // unconnected output: items are dropped
+                1 => {
+                    let (dn, dp) = dests[0];
+                    self.nodes[dn].queues[dp].push_back(item);
+                }
+                _ => {
+                    let dests = dests.clone();
+                    for (dn, dp) in dests {
+                        self.nodes[dn].queues[dp].push_back(item.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fire a node's externally-driven (source) method once.
+    pub fn fire_source_method(&mut self, node: usize, method: usize) {
+        let n = &mut self.nodes[node];
+        let mname = n.spec.methods[method].name.clone();
+        let consumed: Vec<(usize, Item)> = Vec::new();
+        let data = FireData::new(&n.spec, &consumed);
+        let mut out = Emitter::new(&n.spec);
+        n.behavior.fire(&mname, &data, &mut out);
+        n.firings += 1;
+        let emitted = out.into_items();
+        self.route(node, emitted);
+    }
+
+    /// Fire the node's next planned action if any; returns whether it fired.
+    pub fn step_node(&mut self, node: usize) -> bool {
+        let Some(action) = self.nodes[node].plan() else {
+            return false;
+        };
+        let emitted = self.nodes[node].execute(&action);
+        self.route(node, emitted);
+        true
+    }
+
+    /// Total queued items across all nodes (0 = quiescent).
+    pub fn queued_items(&self) -> usize {
+        self.nodes.iter().map(|n| n.queued_items()).sum()
+    }
+
+    /// Node id for a given instance name (diagnostics helper).
+    pub fn find(&self, name: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| n.name == name)
+    }
+
+    /// Describe stuck state for deadlock diagnostics: nodes with queued
+    /// input that cannot fire.
+    pub fn stuck_report(&self) -> String {
+        let mut s = String::new();
+        for n in &self.nodes {
+            if n.queued_items() > 0 && n.plan().is_none() {
+                let heads: Vec<String> = n
+                    .queues
+                    .iter()
+                    .enumerate()
+                    .map(|(i, q)| {
+                        let head = match q.front() {
+                            None => "-".to_string(),
+                            Some(Item::Window(w)) => format!("W{}", w.dim()),
+                            Some(Item::Control(t)) => t.to_string(),
+                        };
+                        format!("{}:{} (depth {})", n.spec.inputs[i].name, head, q.len())
+                    })
+                    .collect();
+                s.push_str(&format!("  node '{}': {}\n", n.name, heads.join(", ")));
+            }
+        }
+        s
+    }
+}

@@ -1,0 +1,515 @@
+//! The timing-accurate functional simulator (§IV-D of the paper).
+//!
+//! Models kernel execution time (method cycles), data access time (per-word
+//! input reads and output writes), channel buffering (bounded queues, one
+//! iteration of implicit buffering per port plus configurable slack), and
+//! per-PE scheduling (round-robin time multiplexing of resident kernels).
+//! Placement and communication delays are *not* modeled, matching the
+//! paper's simplification for throughput-oriented applications.
+//!
+//! Application inputs inject samples on a strict schedule derived from their
+//! declared rate; an injection that finds a full queue is recorded as a
+//! real-time violation. This is the mechanism used to "simulate to verify
+//! that the application meets its real-time constraints".
+
+use crate::runtime::{Action, Program};
+use crate::stats::{PeStats, RealTimeVerdict, SimReport};
+use bp_core::graph::AppGraph;
+use bp_core::item::Item;
+use bp_core::kernel::NodeRole;
+use bp_core::machine::{MachineSpec, Mapping};
+use bp_core::token::ControlToken;
+use bp_core::{BpError, Result};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Timed simulation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Target machine.
+    pub machine: MachineSpec,
+    /// Capacity of each input queue in items. The paper's model gives each
+    /// port implicit buffering of one iteration; we default to a few items
+    /// of slack on top so token interleaving does not artificially stall.
+    pub channel_capacity: usize,
+    /// Frames to push through every application input.
+    pub frames: u32,
+}
+
+impl SimConfig {
+    /// Default configuration on the evaluation machine. The default channel
+    /// capacity (64 items) gives kernels roughly a window-row of slack so
+    /// that within-frame burstiness — a windowed kernel receives its row of
+    /// windows faster than it drains them, catching up during the halo rows
+    /// — does not register as missed deadlines while sustained overload
+    /// still does.
+    pub fn new(frames: u32) -> Self {
+        Self {
+            machine: MachineSpec::default_eval(),
+            channel_capacity: 64,
+            frames,
+        }
+    }
+
+    /// Use a specific machine.
+    pub fn with_machine(mut self, machine: MachineSpec) -> Self {
+        self.machine = machine;
+        self
+    }
+}
+
+#[derive(Debug)]
+enum EventKind {
+    /// Inject the next sample of a source.
+    SourceEmit { source: usize },
+    /// A PE finishes its current firing.
+    PeDone { pe: usize },
+}
+
+struct Event {
+    t: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap: smaller time first; ties resolved by insertion order.
+        other
+            .t
+            .partial_cmp(&self.t)
+            .unwrap_or(Ordering::Equal)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct Inflight {
+    node: usize,
+    emitted: Vec<(usize, Item)>,
+    run_s: f64,
+    read_s: f64,
+    write_s: f64,
+}
+
+/// The timing-accurate simulator. Construct with a graph, a kernel-to-PE
+/// mapping, and a configuration, then [`run`](Self::run).
+pub struct TimedSimulator {
+    program: Program,
+    residents: Vec<Vec<usize>>,
+    pe_of_node: Vec<usize>,
+    rr: Vec<usize>,
+    pe_inflight: Vec<Option<Inflight>>,
+    upstream: Vec<Vec<usize>>,
+    config: SimConfig,
+    events: BinaryHeap<Event>,
+    seq: u64,
+    now: f64,
+    stats: Vec<PeStats>,
+    node_busy: Vec<f64>,
+    violations: u64,
+    sink_eof_times: Vec<f64>,
+    /// Injection time of each frame's first sample, per source.
+    frame_start_times: Vec<f64>,
+    /// Custom-token emissions per node, for §II-C rate-bound checking.
+    custom_token_emissions: Vec<u64>,
+    source_progress: Vec<u64>,
+    budget_overruns: Vec<u64>,
+    node_max_queue: Vec<usize>,
+    required_rate_hz: f64,
+    node_roles: Vec<NodeRole>,
+}
+
+impl TimedSimulator {
+    /// Instantiate the graph under the given mapping.
+    pub fn new(graph: &AppGraph, mapping: &Mapping, config: SimConfig) -> Result<Self> {
+        if mapping.pe_of_node.len() != graph.node_count() {
+            return Err(BpError::Simulation(format!(
+                "mapping covers {} nodes but graph has {}",
+                mapping.pe_of_node.len(),
+                graph.node_count()
+            )));
+        }
+        let program = Program::instantiate(graph)?;
+        let n = program.nodes.len();
+        let mut upstream = vec![Vec::new(); n];
+        for (_, c) in graph.channels() {
+            if !upstream[c.dst.node.0].contains(&c.src.node.0) {
+                upstream[c.dst.node.0].push(c.src.node.0);
+            }
+        }
+        let node_roles = program.nodes.iter().map(|rt| rt.spec.role).collect();
+        let required_rate_hz = graph
+            .sources()
+            .iter()
+            .map(|s| s.rate_hz)
+            .fold(0.0f64, f64::max);
+        let residents = mapping.residents();
+        Ok(Self {
+            pe_of_node: mapping.pe_of_node.clone(),
+            rr: vec![0; residents.len()],
+            pe_inflight: (0..residents.len()).map(|_| None).collect(),
+            residents,
+            upstream,
+            stats: vec![PeStats::default(); mapping.num_pes],
+            node_busy: vec![0.0; n],
+            program,
+            config,
+            events: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+            violations: 0,
+            sink_eof_times: Vec::new(),
+            frame_start_times: Vec::new(),
+            custom_token_emissions: vec![0; n],
+            source_progress: vec![0; 64],
+            budget_overruns: vec![0; n],
+            node_max_queue: vec![0; n],
+            required_rate_hz,
+            node_roles,
+        })
+    }
+
+    fn push_event(&mut self, t: f64, kind: EventKind) {
+        self.seq += 1;
+        self.events.push(Event {
+            t,
+            seq: self.seq,
+            kind,
+        });
+    }
+
+    /// Run the simulation to completion and report.
+    pub fn run(mut self) -> Result<SimReport> {
+        // Constants fire at t = 0, before any source sample.
+        let consts = self.program.consts.clone();
+        for (node, method) in consts {
+            let emitted = {
+                let n = &mut self.program.nodes[node];
+                let mname = n.spec.methods[method].name.clone();
+                let consumed: Vec<(usize, Item)> = Vec::new();
+                let data = bp_core::kernel::FireData::new(&n.spec, &consumed);
+                let mut out = bp_core::kernel::Emitter::new(&n.spec);
+                n.behavior.fire(&mname, &data, &mut out);
+                n.firings += 1;
+                out.into_items()
+            };
+            let touched = self.route_timed(node, emitted);
+            self.dispatch_wave(touched);
+        }
+        self.source_progress = vec![0; self.program.sources.len()];
+        for s in 0..self.program.sources.len() {
+            self.push_event(0.0, EventKind::SourceEmit { source: s });
+        }
+
+        while let Some(ev) = self.events.pop() {
+            self.now = ev.t;
+            match ev.kind {
+                EventKind::SourceEmit { source } => self.handle_source_emit(source),
+                EventKind::PeDone { pe } => self.handle_pe_done(pe),
+            }
+        }
+
+        // Everything settled. If any node still has a fireable plan, the
+        // only thing that can have stopped it is downstream capacity — with
+        // all PEs idle that is a genuine capacity deadlock. Residual items
+        // with no fireable plan are legitimate (e.g. the final frame
+        // circulating in a feedback loop) and are reported, not fatal.
+        let deadlocked = (0..self.program.nodes.len())
+            .any(|i| self.node_roles[i] != NodeRole::Source && self.program.nodes[i].plan().is_some());
+        if deadlocked {
+            return Err(BpError::Simulation(format!(
+                "capacity deadlock with {} items queued:\n{}",
+                self.program.queued_items(),
+                self.program.stuck_report()
+            )));
+        }
+        let residual = self.program.queued_items() as u64;
+
+        let frames_completed = self.frames_completed();
+        let achieved = self.achieved_rate(frames_completed);
+        let met = self.violations == 0 && frames_completed >= self.config.frames;
+        // Per-frame latency: first sample injection -> sink end-of-frame.
+        // With several sinks, take the last EOF of each frame.
+        let sinks = self
+            .node_roles
+            .iter()
+            .filter(|r| **r == NodeRole::Sink)
+            .count()
+            .max(1);
+        let frame_latencies: Vec<f64> = self
+            .sink_eof_times
+            .chunks(sinks)
+            .zip(self.frame_start_times.iter())
+            .map(|(eofs, start)| eofs.iter().cloned().fold(0.0f64, f64::max) - start)
+            .collect();
+        // §II-C: verify every kernel stayed within its declared custom-token
+        // rate bounds over the simulated interval.
+        let mut token_rate_violations = Vec::new();
+        if self.now > 0.0 {
+            for (i, rt) in self.program.nodes.iter().enumerate() {
+                let emitted = self.custom_token_emissions[i];
+                if emitted == 0 {
+                    continue;
+                }
+                let declared: f64 = rt.spec.custom_tokens.iter().map(|t| t.max_rate_hz).sum();
+                let observed = emitted as f64 / self.now;
+                // Allow one token of slack for startup transients.
+                if observed > declared + 1.0 / self.now {
+                    token_rate_violations.push((rt.name.clone(), observed, declared));
+                }
+            }
+        }
+        Ok(SimReport {
+            pe_stats: self.stats,
+            node_firings: self.program.nodes.iter().map(|n| n.firings).collect(),
+            node_busy: self.node_busy,
+            sim_time: self.now,
+            frames_completed,
+            residual_items: residual,
+            budget_overruns: self.budget_overruns,
+            node_max_queue: self.node_max_queue,
+            frame_latencies,
+            token_rate_violations,
+            verdict: RealTimeVerdict {
+                met,
+                violations: self.violations,
+                required_rate_hz: self.required_rate_hz,
+                achieved_rate_hz: achieved,
+            },
+        })
+    }
+
+    fn frames_completed(&self) -> u32 {
+        let sinks = self
+            .node_roles
+            .iter()
+            .filter(|r| **r == NodeRole::Sink)
+            .count()
+            .max(1);
+        (self.sink_eof_times.len() / sinks) as u32
+    }
+
+    fn achieved_rate(&self, frames: u32) -> f64 {
+        // One frame completes when all sinks have seen its end-of-frame;
+        // group the EOF arrivals per frame and rate the completions.
+        let sinks = self
+            .node_roles
+            .iter()
+            .filter(|r| **r == NodeRole::Sink)
+            .count()
+            .max(1);
+        let completions: Vec<f64> = self
+            .sink_eof_times
+            .chunks_exact(sinks)
+            .map(|c| c.iter().cloned().fold(0.0f64, f64::max))
+            .collect();
+        if completions.len() >= 2 {
+            let first = completions[0];
+            let last = *completions.last().unwrap();
+            if last > first {
+                return (completions.len() - 1) as f64 / (last - first);
+            }
+        }
+        if self.now > 0.0 {
+            frames as f64 / self.now
+        } else {
+            0.0
+        }
+    }
+
+    fn handle_source_emit(&mut self, source: usize) {
+        let s = self.program.sources[source];
+        if source == 0 && self.source_progress[source].is_multiple_of(s.frame.area()) {
+            self.frame_start_times.push(self.now);
+        }
+        // Check capacity at the destinations before injecting; a full queue
+        // at the scheduled time is a missed deadline (counted once per
+        // injection, however many destinations are saturated).
+        let full = self.program.routes[s.node][0].iter().any(|&(dn, dp)| {
+            self.program.nodes[dn].queues[dp].len() >= self.config.channel_capacity
+        });
+        if full {
+            self.violations += 1;
+        }
+        let emitted = {
+            let n = &mut self.program.nodes[s.node];
+            let mname = n.spec.methods[s.method].name.clone();
+            let consumed: Vec<(usize, Item)> = Vec::new();
+            let data = bp_core::kernel::FireData::new(&n.spec, &consumed);
+            let mut out = bp_core::kernel::Emitter::new(&n.spec);
+            n.behavior.fire(&mname, &data, &mut out);
+            n.firings += 1;
+            out.into_items()
+        };
+        let touched = self.route_timed(s.node, emitted);
+        self.dispatch_wave(touched);
+
+        self.source_progress[source] += 1;
+        let total = s.frame.area() * self.config.frames as u64;
+        if self.source_progress[source] < total {
+            let period = 1.0 / (s.rate_hz * s.frame.area() as f64);
+            let t_next = self.source_progress[source] as f64 * period;
+            self.push_event(t_next, EventKind::SourceEmit { source });
+        }
+    }
+
+    fn handle_pe_done(&mut self, pe: usize) {
+        let inflight = self.pe_inflight[pe].take().expect("PeDone without inflight");
+        self.stats[pe].run += inflight.run_s;
+        self.stats[pe].read += inflight.read_s;
+        self.stats[pe].write += inflight.write_s;
+        self.node_busy[inflight.node] += inflight.run_s + inflight.read_s + inflight.write_s;
+        let mut touched = self.route_timed(inflight.node, inflight.emitted);
+        touched.push(pe);
+        self.dispatch_wave(touched);
+    }
+
+    /// Deliver items, recording sink EOF arrival times. Returns the PEs that
+    /// may now have new work.
+    fn route_timed(&mut self, from: usize, emitted: Vec<(usize, Item)>) -> Vec<usize> {
+        let mut touched = Vec::new();
+        for (port, item) in emitted {
+            if let Item::Control(ControlToken::Custom(_)) = item {
+                self.custom_token_emissions[from] += 1;
+            }
+            let dests = self.program.routes[from][port].clone();
+            for (dn, dp) in dests.iter().copied() {
+                if self.node_roles[dn] == NodeRole::Sink {
+                    if let Item::Control(ControlToken::EndOfFrame) = item {
+                        self.sink_eof_times.push(self.now);
+                    }
+                }
+                self.program.nodes[dn].queues[dp].push_back(item.clone());
+                let depth = self.program.nodes[dn].queues[dp].len();
+                if depth > self.node_max_queue[dn] {
+                    self.node_max_queue[dn] = depth;
+                }
+                let pe = self.pe_of_node[dn];
+                if !touched.contains(&pe) {
+                    touched.push(pe);
+                }
+            }
+        }
+        touched
+    }
+
+    /// Attempt to start work on each PE in the list; starting a firing frees
+    /// upstream queue space, so upstream PEs are re-attempted transitively.
+    fn dispatch_wave(&mut self, mut worklist: Vec<usize>) {
+        while let Some(pe) = worklist.pop() {
+            if self.pe_inflight[pe].is_some() {
+                continue;
+            }
+            if let Some(node) = self.try_start(pe) {
+                for &up in &self.upstream[node].clone() {
+                    let up_pe = self.pe_of_node[up];
+                    if !worklist.contains(&up_pe) {
+                        worklist.push(up_pe);
+                    }
+                }
+                // The PE itself is now busy; it will be revisited at PeDone.
+            }
+        }
+    }
+
+    /// Try to begin one firing on `pe`; returns the node that fired.
+    fn try_start(&mut self, pe: usize) -> Option<usize> {
+        let residents = &self.residents[pe];
+        if residents.is_empty() {
+            return None;
+        }
+        let len = residents.len();
+        for k in 0..len {
+            let idx = (self.rr[pe] + k) % len;
+            let node = residents[idx];
+            if self.node_roles[node] == NodeRole::Source {
+                continue; // paced externally
+            }
+            let Some(action) = self.program.nodes[node].plan() else {
+                continue;
+            };
+            if !self.downstream_space(node, &action) {
+                continue;
+            }
+            // Compute read words from the items about to be consumed.
+            let read_words: u64 = match &action {
+                Action::Fire { consume, .. } => consume
+                    .iter()
+                    .map(|&p| {
+                        self.program.nodes[node].queues[p]
+                            .front()
+                            .map_or(0, |i| i.words())
+                    })
+                    .sum(),
+                Action::Forward { .. } => 0,
+            };
+            let declared: u64 = match &action {
+                Action::Fire { method, .. } => {
+                    self.program.nodes[node].spec.methods[*method].cost.cycles
+                }
+                Action::Forward { .. } => 1,
+            };
+            let (emitted, actual) = self.program.nodes[node].execute_with_cost(&action);
+            // Data-dependent-cost kernels report their actual work; running
+            // past the declared budget is a runtime resource exception
+            // (§VII) recorded per node.
+            let cycles = actual.unwrap_or(declared);
+            if cycles > declared {
+                self.budget_overruns[node] += 1;
+            }
+            let write_words: u64 = emitted.iter().map(|(_, i)| i.words()).sum();
+            let m = &self.config.machine;
+            let run_s = cycles as f64 / m.pe_clock_hz;
+            let read_s = read_words as f64 * m.read_cost_per_word / m.pe_clock_hz;
+            let write_s = write_words as f64 * m.write_cost_per_word / m.pe_clock_hz;
+            let dt = run_s + read_s + write_s;
+            self.pe_inflight[pe] = Some(Inflight {
+                node,
+                emitted,
+                run_s,
+                read_s,
+                write_s,
+            });
+            self.rr[pe] = (idx + 1) % len;
+            let t_done = self.now + dt;
+            self.push_event(t_done, EventKind::PeDone { pe });
+            return Some(node);
+        }
+        None
+    }
+
+    /// True when every destination queue of the action's outputs has room
+    /// for this firing's worst-case emissions (2 items of slack).
+    fn downstream_space(&self, node: usize, action: &Action) -> bool {
+        let outputs: Vec<usize> = match action {
+            Action::Fire { method, .. } => {
+                let spec = &self.program.nodes[node].spec;
+                spec.methods[*method]
+                    .outputs
+                    .iter()
+                    .filter_map(|o| spec.output_index(o))
+                    .collect()
+            }
+            Action::Forward { outputs, .. } => outputs.clone(),
+        };
+        for port in outputs {
+            for &(dn, dp) in &self.program.routes[node][port] {
+                if self.program.nodes[dn].queues[dp].len() + 2 > self.config.channel_capacity {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}

@@ -1,0 +1,188 @@
+//! `bpc` — the block-parallel compiler driver.
+//!
+//! Compile a bundled application for a machine description, print the
+//! compiler report, optionally dump Graphviz, and verify the real-time
+//! constraint on the timing-accurate simulator.
+//!
+//! ```text
+//! bpc --app fig1b --width 20 --height 12 --rate 200 --policy trim \
+//!     --mapping greedy --frames 3 [--dot out.dot] [--quiet]
+//! ```
+
+use block_parallel::apps;
+use block_parallel::prelude::*;
+use std::process::ExitCode;
+
+struct Args {
+    app: String,
+    width: u32,
+    height: u32,
+    rate: f64,
+    policy: AlignPolicy,
+    mapping: MappingKind,
+    frames: u32,
+    dot: Option<String>,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bpc --app <fig1b|bayer|histogram|buffer-test|multi-conv|edge|fir|iir|analytics|stereo>\n\
+         \x20          [--width N] [--height N] [--rate HZ] [--frames N]\n\
+         \x20          [--policy trim|pad-zero|pad-mirror] [--mapping greedy|packed|one-to-one]\n\
+         \x20          [--dot FILE] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        app: String::new(),
+        width: 20,
+        height: 12,
+        rate: 50.0,
+        policy: AlignPolicy::Trim,
+        mapping: MappingKind::Greedy,
+        frames: 3,
+        dot: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--app" => args.app = value("--app"),
+            "--width" => args.width = value("--width").parse().unwrap_or_else(|_| usage()),
+            "--height" => args.height = value("--height").parse().unwrap_or_else(|_| usage()),
+            "--rate" => args.rate = value("--rate").parse().unwrap_or_else(|_| usage()),
+            "--frames" => args.frames = value("--frames").parse().unwrap_or_else(|_| usage()),
+            "--policy" => {
+                args.policy = match value("--policy").as_str() {
+                    "trim" => AlignPolicy::Trim,
+                    "pad-zero" => AlignPolicy::PadZero,
+                    "pad-mirror" => AlignPolicy::PadMirror,
+                    other => {
+                        eprintln!("unknown policy '{other}'");
+                        usage()
+                    }
+                }
+            }
+            "--mapping" => {
+                args.mapping = match value("--mapping").as_str() {
+                    "greedy" => MappingKind::Greedy,
+                    "packed" => MappingKind::Packed,
+                    "one-to-one" | "1:1" => MappingKind::OneToOne,
+                    other => {
+                        eprintln!("unknown mapping '{other}'");
+                        usage()
+                    }
+                }
+            }
+            "--dot" => args.dot = Some(value("--dot")),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag '{other}'");
+                usage()
+            }
+        }
+    }
+    if args.app.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn build_app(args: &Args) -> Option<apps::App> {
+    let dim = Dim2::new(args.width, args.height);
+    Some(match args.app.as_str() {
+        "fig1b" => apps::fig1b(dim, args.rate),
+        "bayer" => apps::bayer(dim, args.rate),
+        "histogram" => apps::histogram_app(dim, args.rate, 32),
+        "buffer-test" => apps::parallel_buffer_test(dim, args.rate),
+        "multi-conv" => apps::multi_conv(dim, args.rate, 3),
+        "edge" => apps::edge_detect(dim, args.rate, 20.0),
+        "fir" => apps::fir_radio(args.width, args.rate),
+        "iir" => apps::temporal_iir(dim, args.rate),
+        "analytics" => apps::analytics(dim, args.rate),
+        "stereo" => apps::stereo_diff(dim, args.rate),
+        _ => return None,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let Some(app) = build_app(&args) else {
+        eprintln!("unknown app '{}'", args.app);
+        return ExitCode::from(2);
+    };
+
+    let opts = CompileOptions {
+        machine: MachineSpec::default_eval(),
+        align: args.policy,
+        mapping: args.mapping,
+        ..Default::default()
+    };
+    let compiled = match compile(&app.graph, &opts) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("compile error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !args.quiet {
+        println!("{}", summarize(&compiled));
+    }
+    if let Some(path) = &args.dot {
+        if let Err(e) = std::fs::write(path, to_dot(&compiled.graph)) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !args.quiet {
+            println!("wrote {path}");
+        }
+    }
+
+    let sim = TimedSimulator::new(
+        &compiled.graph,
+        &compiled.mapping,
+        SimConfig::new(args.frames).with_machine(opts.machine),
+    )
+    .and_then(|s| s.run());
+    match sim {
+        Ok(report) => {
+            let (run, read, write) = report.utilization_breakdown();
+            println!(
+                "real-time {}: required {:.1} Hz, achieved {:.1} Hz, {} violations, \
+                 {} budget overruns",
+                if report.verdict.met { "MET" } else { "MISSED" },
+                report.verdict.required_rate_hz,
+                report.verdict.achieved_rate_hz,
+                report.verdict.violations,
+                report.total_budget_overruns(),
+            );
+            println!(
+                "utilization {:.1}% (run {:.1}% / read {:.1}% / write {:.1}%) on {} PEs",
+                100.0 * (run + read + write),
+                100.0 * run,
+                100.0 * read,
+                100.0 * write,
+                report.num_pes()
+            );
+            if report.verdict.met {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("simulation error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Scale test: the composite analytics pipeline compiled at a fast rate
+//! crosses the "more than 50 kernels" size the paper quotes for its largest
+//! benchmarks, stays bit-identical to the reference composition, and meets
+//! its real-time constraint.
+
+use bp_apps::{apps, reference};
+use bp_compiler::{compile, CompileOptions};
+use bp_core::Dim2;
+use bp_sim::{FunctionalExecutor, SimConfig, TimedSimulator};
+
+fn expected_for(dim: Dim2, frame: u32) -> (Vec<f64>, Vec<f64>) {
+    let img = reference::pattern_frame(dim.w, dim.h, frame);
+    let den = reference::median_valid(&img, 3, 3);
+    // Edge branch over the denoised image.
+    let edges = reference::threshold_img(&reference::sobel_valid(&den), 20.0);
+    let edge_hist = reference::histogram(&edges, &reference::uniform_uppers(16, 0.0, 2.0));
+    // Texture branch: |den - smooth(den)| with trim alignment (den inset 1,
+    // conv adds 2 -> trim den by 2).
+    let box5 = vec![vec![1.0 / 25.0; 5]; 5];
+    let smooth = reference::conv2d_valid(&den, &box5);
+    let den_trim = reference::trim(&den, 2);
+    let detail: reference::Image = den_trim
+        .iter()
+        .zip(&smooth)
+        .map(|(a, b)| a.iter().zip(b).map(|(x, y)| (x - y).abs()).collect())
+        .collect();
+    let detail_hist = reference::histogram(&detail, &reference::uniform_uppers(16, 0.0, 64.0));
+    (edge_hist, detail_hist)
+}
+
+#[test]
+fn analytics_pipeline_scales_past_fifty_kernels_and_matches_golden() {
+    let dim = Dim2::new(32, 20);
+    let app = apps::analytics(dim, 300.0);
+    let c = compile(&app.graph, &CompileOptions::default()).unwrap();
+    assert!(
+        c.report.census.nodes > 50,
+        "expected >50 kernels after compilation, got {}",
+        c.report.census.nodes
+    );
+
+    let mut ex = FunctionalExecutor::new(&c.graph).unwrap();
+    ex.run_frames(2).unwrap();
+    assert_eq!(ex.residual_items(), 0);
+
+    for f in 0..2u32 {
+        let (edge_expected, detail_expected) = expected_for(dim, f);
+        assert_eq!(
+            app.sinks[0].1.frames()[f as usize],
+            edge_expected,
+            "edge histogram frame {f}"
+        );
+        assert_eq!(
+            app.sinks[1].1.frames()[f as usize],
+            detail_expected,
+            "detail histogram frame {f}"
+        );
+    }
+}
+
+#[test]
+fn analytics_pipeline_meets_realtime() {
+    let dim = Dim2::new(32, 20);
+    let app = apps::analytics(dim, 300.0);
+    let c = compile(&app.graph, &CompileOptions::default()).unwrap();
+    let report = TimedSimulator::new(&c.graph, &c.mapping, SimConfig::new(2))
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(report.verdict.met, "{:?}", report.verdict);
+    assert!(report.token_rate_violations.is_empty());
+    assert_eq!(report.total_budget_overruns(), 0);
+}
+
+#[test]
+fn analytics_histogram_totals_are_conserved() {
+    let dim = Dim2::new(24, 16);
+    let app = apps::analytics(dim, 50.0);
+    let c = compile(&app.graph, &CompileOptions::default()).unwrap();
+    let mut ex = FunctionalExecutor::new(&c.graph).unwrap();
+    ex.run_frames(1).unwrap();
+    // Edge histogram counts every sobel-threshold sample: (24-4)x(16-4).
+    let edge_total: f64 = app.sinks[0].1.frames()[0].iter().sum();
+    assert_eq!(edge_total, (20 * 12) as f64);
+    // Detail histogram counts every |den - smooth| sample: (24-6)x(16-6).
+    let detail_total: f64 = app.sinks[1].1.frames()[0].iter().sum();
+    assert_eq!(detail_total, (18 * 10) as f64);
+}

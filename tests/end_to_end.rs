@@ -1,0 +1,268 @@
+//! End-to-end integration: compile the paper's applications and verify that
+//! the transformed (buffered, aligned, parallelized) graphs produce results
+//! bit-identical to direct array-math golden models, under both the
+//! functional executor and the timing-accurate simulator.
+
+use bp_apps::{apps, presets, reference};
+use bp_compiler::{compile, AlignPolicy, CompileOptions, MappingKind};
+use bp_core::Dim2;
+use bp_sim::{FunctionalExecutor, SimConfig, TimedSimulator};
+
+const FRAMES: u32 = 3;
+
+fn run_functional(graph: &bp_core::AppGraph, frames: u32) {
+    let mut ex = FunctionalExecutor::new(graph).expect("instantiate");
+    ex.run_frames(frames).expect("run");
+    assert_eq!(ex.residual_items(), 0, "items stranded in queues");
+}
+
+#[test]
+fn fig1b_uncompiled_matches_golden() {
+    // The source program cannot run as written (windowed kernels need
+    // buffers), so "uncompiled" here means compiled at a rate needing no
+    // parallelization.
+    let app = apps::fig1b(presets::SMALL, presets::SLOW);
+    let c = compile(&app.graph, &CompileOptions::default()).unwrap();
+    run_functional(&c.graph, FRAMES);
+    let frames = app.sinks[0].1.frames();
+    assert_eq!(frames.len(), FRAMES as usize);
+    for (f, counts) in frames.iter().enumerate() {
+        let expected = reference::fig1b_expected(20, 12, f as u32, 32, -128.0, 128.0);
+        assert_eq!(counts, &expected, "frame {f}");
+    }
+}
+
+#[test]
+fn fig1b_parallelized_is_bit_identical() {
+    // Fast rate: conv x3, median x2, histogram x2 — the full Fig. 4 shape.
+    let app = apps::fig1b(presets::SMALL, presets::FAST);
+    let c = compile(&app.graph, &CompileOptions::default()).unwrap();
+    let conv_plan = c.report.parallelize.plan_for("5x5 Conv").unwrap();
+    assert!(conv_plan.granted >= 3, "expected parallelism: {conv_plan:?}");
+    run_functional(&c.graph, FRAMES);
+    let frames = app.sinks[0].1.frames();
+    assert_eq!(frames.len(), FRAMES as usize);
+    for (f, counts) in frames.iter().enumerate() {
+        let expected = reference::fig1b_expected(20, 12, f as u32, 32, -128.0, 128.0);
+        assert_eq!(counts, &expected, "frame {f}");
+    }
+}
+
+#[test]
+fn fig1b_pad_policy_matches_padded_golden() {
+    let app = apps::fig1b(presets::SMALL, presets::SLOW);
+    let opts = CompileOptions {
+        align: AlignPolicy::PadZero,
+        ..Default::default()
+    };
+    let c = compile(&app.graph, &opts).unwrap();
+    run_functional(&c.graph, FRAMES);
+    for (f, counts) in app.sinks[0].1.frames().iter().enumerate() {
+        let expected = reference::fig1b_expected_padded(20, 12, f as u32, 32, -128.0, 128.0);
+        assert_eq!(counts, &expected, "frame {f}");
+    }
+}
+
+#[test]
+fn fig1b_big_fast_with_split_buffers_is_bit_identical() {
+    // Big/Fast: buffers split column-wise AND compute replicates.
+    let app = apps::fig1b(presets::BIG, presets::FAST);
+    let c = compile(&app.graph, &CompileOptions::default()).unwrap();
+    // At 40 columns, the 5x5 buffer needs 2*40*5 = 400 > 320 words: split.
+    let split_buffers = c
+        .report
+        .parallelize
+        .plans
+        .iter()
+        .filter(|p| p.name.starts_with("Buffer(") && p.granted > 1)
+        .count();
+    assert!(split_buffers >= 1, "expected split buffers");
+    run_functional(&c.graph, FRAMES);
+    for (f, counts) in app.sinks[0].1.frames().iter().enumerate() {
+        let expected = reference::fig1b_expected(40, 24, f as u32, 32, -128.0, 128.0);
+        assert_eq!(counts, &expected, "frame {f}");
+    }
+}
+
+/// Reassemble an image from per-window-row groups of 2×2 blocks.
+fn rows_from_quads(window_rows: &[Vec<bp_core::Window>]) -> Vec<Vec<f64>> {
+    let mut rows = Vec::new();
+    for group in window_rows {
+        for sub in 0..2u32 {
+            let mut row = Vec::new();
+            for w in group {
+                for x in 0..w.width() {
+                    row.push(w.get(x, sub));
+                }
+            }
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+#[test]
+fn bayer_compiled_matches_golden() {
+    let app = apps::bayer(presets::SMALL, presets::FAST);
+    let c = compile(&app.graph, &CompileOptions::default()).unwrap();
+    run_functional(&c.graph, 2);
+    for f in 0..2usize {
+        let img = reference::pattern_frame(20, 12, f as u32);
+        let (er, eg, eb) = reference::bayer_expected(&img);
+        for (idx, expected) in [er, eg, eb].iter().enumerate() {
+            let window_rows = &app.sinks[idx].1.frame_window_rows()[f];
+            let got = rows_from_quads(window_rows);
+            assert_eq!(&got, expected, "plane {idx} frame {f}");
+        }
+    }
+}
+
+#[test]
+fn histogram_app_compiled_matches_golden() {
+    let app = apps::histogram_app(presets::SMALL, presets::FAST, 32);
+    let c = compile(&app.graph, &CompileOptions::default()).unwrap();
+    run_functional(&c.graph, FRAMES);
+    for (f, counts) in app.sinks[0].1.frames().iter().enumerate() {
+        let img = reference::pattern_frame(20, 12, f as u32);
+        let expected = reference::histogram(&img, &reference::uniform_uppers(32, 0.0, 256.0));
+        assert_eq!(counts, &expected, "frame {f}");
+    }
+}
+
+#[test]
+fn parallel_buffer_test_split_buffer_is_bit_identical() {
+    let app = apps::parallel_buffer_test(Dim2::new(64, 12), 20.0);
+    let c = compile(&app.graph, &CompileOptions::default()).unwrap();
+    let buf_plan = c
+        .report
+        .parallelize
+        .plans
+        .iter()
+        .find(|p| p.name.starts_with("Buffer("))
+        .unwrap();
+    assert!(buf_plan.granted >= 2, "buffer must split: {buf_plan:?}");
+    run_functional(&c.graph, 2);
+    for (f, vals) in app.sinks[0].1.frames().iter().enumerate() {
+        let img = reference::pattern_frame(64, 12, f as u32);
+        let box5 = vec![vec![1.0 / 25.0; 5]; 5];
+        let expected: Vec<f64> = reference::conv2d_valid(&img, &box5)
+            .into_iter()
+            .flatten()
+            .collect();
+        assert_eq!(vals.len(), expected.len());
+        for (g, e) in vals.iter().zip(&expected) {
+            assert!((g - e).abs() < 1e-9, "frame {f}");
+        }
+    }
+}
+
+#[test]
+fn multi_conv_pipeline_matches_golden() {
+    let app = apps::multi_conv(presets::SMALL, presets::SLOW, 3);
+    let c = compile(&app.graph, &CompileOptions::default()).unwrap();
+    run_functional(&c.graph, 2);
+    let k3: Vec<Vec<f64>> = {
+        let w = bp_kernels::binomial_coefficients(3);
+        (0..3)
+            .map(|y| (0..3).map(|x| w.get(x, y)).collect())
+            .collect()
+    };
+    for (f, vals) in app.sinks[0].1.frames().iter().enumerate() {
+        let mut img = reference::pattern_frame(20, 12, f as u32);
+        for _ in 0..3 {
+            img = reference::conv2d_valid(&img, &k3);
+        }
+        let expected: Vec<f64> = img.into_iter().flatten().collect();
+        assert_eq!(vals.len(), expected.len());
+        for (g, e) in vals.iter().zip(&expected) {
+            assert!((g - e).abs() < 1e-9, "frame {f}");
+        }
+    }
+}
+
+#[test]
+fn temporal_iir_feedback_converges() {
+    let app = apps::temporal_iir(Dim2::new(4, 3), 10.0);
+    let c = compile(&app.graph, &CompileOptions::default()).unwrap();
+    let mut ex = FunctionalExecutor::new(&c.graph).unwrap();
+    ex.run_frames(3).unwrap();
+    // A frame-delay loop legitimately leaves the final feedback frame
+    // circulating: 12 pixels + 3 EOL + 1 EOF.
+    assert_eq!(ex.residual_items(), 16);
+    let frames = app.sinks[0].1.frames();
+    assert_eq!(frames.len(), 3);
+    // Golden: out_f = 0.5 * (in_f + out_{f-1}), out_{-1} = 0.
+    let mut prev = vec![0.0; 12];
+    for (f, got) in frames.iter().enumerate() {
+        let img: Vec<f64> = reference::pattern_frame(4, 3, f as u32)
+            .into_iter()
+            .flatten()
+            .collect();
+        let expected: Vec<f64> = img
+            .iter()
+            .zip(&prev)
+            .map(|(i, p)| 0.5 * (i + p))
+            .collect();
+        for (g, e) in got.iter().zip(&expected) {
+            assert!((g - e).abs() < 1e-12, "frame {f}");
+        }
+        prev = expected;
+    }
+}
+
+#[test]
+fn timed_simulation_matches_functional_and_meets_deadline() {
+    let app = apps::fig1b(presets::SMALL, presets::SLOW);
+    let c = compile(&app.graph, &CompileOptions::default()).unwrap();
+    let report = TimedSimulator::new(&c.graph, &c.mapping, SimConfig::new(FRAMES))
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(report.verdict.met, "verdict: {:?}", report.verdict);
+    assert_eq!(report.frames_completed, FRAMES);
+    // Functional equivalence: the sink saw golden counts.
+    for (f, counts) in app.sinks[0].1.frames().iter().enumerate() {
+        let expected = reference::fig1b_expected(20, 12, f as u32, 32, -128.0, 128.0);
+        assert_eq!(counts, &expected, "frame {f}");
+    }
+}
+
+#[test]
+fn timed_simulation_parallelized_meets_realtime() {
+    for (label, dim, rate) in [
+        ("SF", presets::SMALL, presets::FAST),
+        ("BS", presets::BIG, presets::SLOW),
+    ] {
+        let app = apps::fig1b(dim, rate);
+        let c = compile(&app.graph, &CompileOptions::default()).unwrap();
+        let report = TimedSimulator::new(&c.graph, &c.mapping, SimConfig::new(2))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(
+            report.verdict.met,
+            "{label}: verdict {:?} with {} PEs",
+            report.verdict, c.mapping.num_pes
+        );
+    }
+}
+
+#[test]
+fn one_to_one_and_greedy_mappings_agree_on_results() {
+    for kind in [MappingKind::OneToOne, MappingKind::Greedy] {
+        let app = apps::histogram_app(presets::SMALL, presets::SLOW, 32);
+        let opts = CompileOptions {
+            mapping: kind,
+            ..Default::default()
+        };
+        let c = compile(&app.graph, &opts).unwrap();
+        let report = TimedSimulator::new(&c.graph, &c.mapping, SimConfig::new(2))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(report.verdict.met, "{kind:?}");
+        let img = reference::pattern_frame(20, 12, 0);
+        let expected = reference::histogram(&img, &reference::uniform_uppers(32, 0.0, 256.0));
+        assert_eq!(app.sinks[0].1.frames()[0], expected, "{kind:?}");
+    }
+}

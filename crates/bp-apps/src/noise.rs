@@ -4,8 +4,7 @@
 
 use bp_core::{Dim2, KernelDef};
 use bp_kernels::{frame_source, PixelGen};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bp_core::Rng64;
 use std::sync::Arc;
 
 /// A pregenerated salt-and-pepper corruption plan: for each frame in a
@@ -25,14 +24,14 @@ impl NoisePlan {
     pub fn salt_and_pepper(dim: Dim2, period: u32, density: f64, lo: f64, hi: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&density));
         assert!(period >= 1);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let area = dim.area() as usize;
         let impulses = (0..period)
             .map(|_| {
                 (0..area)
                     .map(|_| {
-                        if rng.gen::<f64>() < density {
-                            Some(if rng.gen::<bool>() { hi } else { lo })
+                        if rng.gen_f64() < density {
+                            Some(if rng.gen_bool() { hi } else { lo })
                         } else {
                             None
                         }

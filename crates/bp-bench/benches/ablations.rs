@@ -9,7 +9,8 @@ use bp_compiler::{
 };
 use bp_core::MachineSpec;
 use bp_sim::{SimConfig, TimedSimulator};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bp_bench::microbench::{BenchmarkId, Criterion};
+use bp_bench::{criterion_group, criterion_main};
 
 fn bench_mapping_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("mapping");
@@ -61,7 +62,7 @@ fn bench_reuse_ablation(c: &mut Criterion) {
                         .run()
                         .unwrap()
                 },
-                criterion::BatchSize::SmallInput,
+                bp_bench::microbench::BatchSize::SmallInput,
             );
         });
     }

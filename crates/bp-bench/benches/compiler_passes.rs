@@ -7,7 +7,8 @@ use bp_compiler::{
     Strictness,
 };
 use bp_core::MachineSpec;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bp_bench::microbench::{BenchmarkId, Criterion};
+use bp_bench::{criterion_group, criterion_main};
 
 fn bench_dataflow(c: &mut Criterion) {
     let mut group = c.benchmark_group("dataflow");
@@ -31,7 +32,7 @@ fn bench_passes(c: &mut Criterion) {
         b.iter_batched(
             || bp_apps::fig1b(bp_apps::SMALL, bp_apps::SLOW).graph,
             |mut g| align(&mut g, AlignPolicy::Trim).unwrap(),
-            criterion::BatchSize::SmallInput,
+            bp_bench::microbench::BatchSize::SmallInput,
         );
     });
     group.bench_function("buffering", |b| {
@@ -42,7 +43,7 @@ fn bench_passes(c: &mut Criterion) {
                 g
             },
             |mut g| insert_buffers(&mut g).unwrap(),
-            criterion::BatchSize::SmallInput,
+            bp_bench::microbench::BatchSize::SmallInput,
         );
     });
     group.bench_function("parallelize-big-fast", |b| {
@@ -54,7 +55,7 @@ fn bench_passes(c: &mut Criterion) {
                 g
             },
             |mut g| parallelize(&mut g, &MachineSpec::default_eval()).unwrap(),
-            criterion::BatchSize::SmallInput,
+            bp_bench::microbench::BatchSize::SmallInput,
         );
     });
     group.finish();

@@ -4,7 +4,8 @@
 
 use bp_core::kernel::{Emitter, FireData, KernelDef};
 use bp_core::{Dim2, Item, Step2, Window};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use bp_bench::microbench::{Criterion, Throughput};
+use bp_bench::{criterion_group, criterion_main};
 
 /// Drive a single-input kernel behavior over a frame's pixel stream.
 fn drive_frame(def: &KernelDef, w: u32, h: u32) -> usize {

@@ -3,7 +3,8 @@
 
 use bp_compiler::{compile, CompileOptions};
 use bp_sim::{FunctionalExecutor, SimConfig, TimedSimulator};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bp_bench::microbench::{BenchmarkId, Criterion};
+use bp_bench::{criterion_group, criterion_main};
 
 fn bench_functional(c: &mut Criterion) {
     let mut group = c.benchmark_group("functional");

@@ -8,6 +8,8 @@
 
 #![warn(missing_docs)]
 
+pub mod microbench;
+
 use bp_apps::App;
 use bp_compiler::{compile, Compiled, CompileOptions};
 use bp_core::Result;

@@ -12,10 +12,9 @@ use bp_core::kernel::NodeRole;
 use bp_core::{BpError, Dim2, Result};
 use bp_kernels::inset::Margins;
 use bp_kernels::pad::PadMode;
-use serde::{Deserialize, Serialize};
 
 /// Alignment policy chosen by the programmer (§III-C).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AlignPolicy {
     /// Discard margin samples from the larger outputs (inset kernels).
     Trim,
@@ -26,7 +25,7 @@ pub enum AlignPolicy {
 }
 
 /// One inserted adjustment kernel.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct InsertedAdjust {
     /// Name of the inserted node.
     pub name: String,
@@ -39,7 +38,7 @@ pub struct InsertedAdjust {
 }
 
 /// Report of the alignment pass.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct AlignReport {
     /// Adjustment kernels inserted, in insertion order.
     pub inserted: Vec<InsertedAdjust>,

@@ -6,10 +6,9 @@ use crate::dataflow::analyze;
 use bp_core::graph::AppGraph;
 use bp_core::kernel::NodeRole;
 use bp_core::{BpError, Dim2, Result, Step2};
-use serde::{Deserialize, Serialize};
 
 /// One inserted buffer.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct InsertedBuffer {
     /// Node name, e.g. `"Buffer(Median.in)"`.
     pub name: String,
@@ -38,7 +37,7 @@ impl InsertedBuffer {
 }
 
 /// Report of the buffering pass.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct BufferingReport {
     /// Buffers inserted, in insertion order.
     pub inserted: Vec<InsertedBuffer>,

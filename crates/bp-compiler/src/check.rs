@@ -8,10 +8,9 @@ use crate::multiplex::node_utilizations;
 use bp_core::graph::AppGraph;
 use bp_core::kernel::NodeRole;
 use bp_core::machine::{MachineSpec, Mapping};
-use serde::{Deserialize, Serialize};
 
 /// One violated invariant.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CheckViolation {
     /// Which invariant (short slug: `node-cpu`, `node-memory`, `pe-cpu`,
     /// `pe-memory`, `grain`, `serial-overload`).
@@ -21,7 +20,7 @@ pub struct CheckViolation {
 }
 
 /// Result of [`check_compiled`].
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct CheckReport {
     /// All violations found (empty = the graph is consistent).
     pub violations: Vec<CheckViolation>,

@@ -14,11 +14,10 @@ use bp_core::kernel::{method_read_words, NodeRole, ShapeTransform};
 use bp_core::method::{MethodSpec, TriggerOn};
 use bp_core::token::TokenKind;
 use bp_core::{BpError, Result};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Everything the analysis knows about the data on one channel.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ChannelInfo {
     /// Logical extent of one dataset (e.g. one image) flowing here.
     pub shape: Dim2,
@@ -51,7 +50,7 @@ impl ChannelInfo {
 }
 
 /// Per-node analysis results.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct NodeAnalysis {
     /// Iteration grid of the node's primary windowed data method, if any.
     pub iterations: Option<Dim2>,

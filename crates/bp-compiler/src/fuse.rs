@@ -14,10 +14,9 @@
 use bp_core::graph::{AppGraph, NodeId};
 use bp_core::kernel::NodeRole;
 use bp_core::{BpError, Result};
-use serde::{Deserialize, Serialize};
 
 /// Report of the fusion pass.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct FuseReport {
     /// `(join, split)` pairs bypassed, by node name.
     pub fused: Vec<(String, String)>,

@@ -8,10 +8,9 @@ use crate::dataflow::Dataflow;
 use bp_core::graph::{AppGraph, NodeId};
 use bp_core::kernel::NodeRole;
 use bp_core::machine::{MachineSpec, Mapping};
-use serde::{Deserialize, Serialize};
 
 /// Which mapping to produce.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MappingKind {
     /// Every kernel on its own PE.
     OneToOne,

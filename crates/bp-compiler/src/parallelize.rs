@@ -10,10 +10,9 @@ use bp_core::kernel::{NodeRole, Parallelism};
 use bp_core::machine::MachineSpec;
 use bp_core::{BpError, Dim2, Result};
 use bp_kernels::split::plan_column_ranges;
-use serde::{Deserialize, Serialize};
 
 /// Why a node received its replica count.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ReplicaReason {
     /// One instance suffices.
     Single,
@@ -26,7 +25,7 @@ pub enum ReplicaReason {
 }
 
 /// Per-node parallelization decision.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct NodePlan {
     /// Node name before transformation.
     pub name: String,
@@ -41,7 +40,7 @@ pub struct NodePlan {
 }
 
 /// Report of the parallelization pass.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ParallelizeReport {
     /// Decisions for every node considered.
     pub plans: Vec<NodePlan>,

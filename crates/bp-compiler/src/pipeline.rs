@@ -14,7 +14,6 @@ use bp_core::graph::AppGraph;
 use bp_core::kernel::NodeRole;
 use bp_core::machine::{MachineSpec, Mapping};
 use bp_core::Result;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Compilation options.
@@ -46,7 +45,7 @@ impl Default for CompileOptions {
 
 /// Summary statistics of a compiled graph, for reports and the figure
 /// harnesses.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct GraphCensus {
     /// Node count per role name.
     pub roles: HashMap<String, usize>,
@@ -89,7 +88,7 @@ pub struct Compiled {
 }
 
 /// Reports from each pass plus final statistics.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CompileReport {
     /// Alignment insertions (§III-C).
     pub align: AlignReport,

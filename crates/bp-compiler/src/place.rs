@@ -9,12 +9,10 @@
 use crate::dataflow::Dataflow;
 use bp_core::graph::AppGraph;
 use bp_core::machine::Mapping;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use bp_core::Rng64;
 
 /// A placement of PEs on a rectangular mesh.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Placement {
     /// Mesh dimensions (columns, rows).
     pub mesh: (u32, u32),
@@ -117,20 +115,20 @@ pub fn place_annealed(
         };
     }
 
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng64::seed_from_u64(config.seed);
     let mut cost = initial_cost;
     let mut temp = (initial_cost * config.initial_temp_frac).max(1e-9);
     let cool_every = (config.iterations / 100).max(1);
     for it in 0..config.iterations {
-        let a = rng.gen_range(0..n);
-        let b = rng.gen_range(0..n);
+        let a = rng.gen_index(n);
+        let b = rng.gen_index(n);
         if a == b {
             continue;
         }
         coords.swap(a, b);
         let new_cost = total_cost(&traffic, &coords);
         let delta = new_cost - cost;
-        if delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp() {
+        if delta <= 0.0 || rng.gen_f64() < (-delta / temp).exp() {
             cost = new_cost;
         } else {
             coords.swap(a, b); // revert

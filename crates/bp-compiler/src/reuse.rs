@@ -20,10 +20,9 @@ use bp_core::kernel::{NodeRole, Parallelism};
 use bp_core::machine::MachineSpec;
 use bp_core::{BpError, Dim2, Result, Step2};
 use bp_kernels::split::plan_column_ranges;
-use serde::{Deserialize, Serialize};
 
 /// Which Fig. 9 buffering strategy to apply.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ReuseVariant {
     /// Fig. 9a: single input buffer, round-robin split (the default pass).
     RoundRobin,
@@ -36,7 +35,7 @@ pub enum ReuseVariant {
 }
 
 /// Report of the reuse transformation.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ReuseReport {
     /// Variant applied.
     pub variant: ReuseVariant,

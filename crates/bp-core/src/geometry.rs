@@ -8,10 +8,9 @@
 //! data movement, reuse, and iteration counts — the key simplification the
 //! paper makes relative to fully general multidimensional dataflow.
 
-use serde::{Deserialize, Serialize};
 
 /// A two-dimensional extent in samples.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Dim2 {
     /// Width in samples.
     pub w: u32,
@@ -46,7 +45,7 @@ impl std::fmt::Display for Dim2 {
 }
 
 /// Per-iteration window advance in X and Y.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Step2 {
     /// Advance per iteration along the scan line.
     pub x: u32,
@@ -75,7 +74,7 @@ impl std::fmt::Display for Step2 {
 ///
 /// Fractional offsets are permitted for downsampling kernels (§II-A of the
 /// paper), hence `f64` components.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Offset2 {
     /// Offset along the scan line.
     pub x: f64,

@@ -11,7 +11,6 @@ use crate::item::{Item, Window};
 use crate::method::MethodSpec;
 use crate::port::{InputSpec, OutputSpec};
 use crate::token::{ControlToken, CustomTokenDecl};
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// The structural role a node plays in the application graph. User kernels
@@ -19,7 +18,7 @@ use std::sync::Arc;
 /// compiler's transformation passes and treated specially by later passes
 /// (e.g. buffers parallelize by column splitting, sources are never
 /// multiplexed with other kernels).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum NodeRole {
     /// A programmer-written computation kernel.
     User,
@@ -70,7 +69,7 @@ impl NodeRole {
 /// split/join, replicate) re-grains or re-routes the stream without changing
 /// the logical image, and trim/pad kernels change the shape by explicit
 /// margins.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum ShapeTransform {
     /// Output shape = iteration grid × output size (the default).
     Windowed,
@@ -109,7 +108,7 @@ pub enum ShapeTransform {
 }
 
 /// How a kernel may be parallelized (§IV).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Parallelism {
     /// Fully data parallel: replicate behind round-robin split/join.
     DataParallel,
@@ -122,7 +121,7 @@ pub enum Parallelism {
 }
 
 /// Static description of a kernel.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct KernelSpec {
     /// Kernel type name (e.g. `"conv2d"`), for reports and diagnostics.
     pub kind: String,

@@ -30,6 +30,7 @@ pub mod kernel;
 pub mod machine;
 pub mod method;
 pub mod port;
+pub mod rng;
 pub mod token;
 
 pub use error::{BpError, Result};
@@ -43,4 +44,5 @@ pub use kernel::{
 pub use machine::{MachineSpec, Mapping};
 pub use method::{MethodCost, MethodSpec, Trigger, TriggerOn};
 pub use port::{InputSpec, OutputSpec};
+pub use rng::Rng64;
 pub use token::{ControlToken, CustomTokenDecl, TokenKind};

@@ -5,10 +5,9 @@
 //! data access cost. The compiler sizes parallelism against these and the
 //! timing-accurate simulator charges them per firing.
 
-use serde::{Deserialize, Serialize};
 
 /// Description of one target many-core machine's processing elements.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MachineSpec {
     /// Compute capacity per PE in cycles per second.
     pub pe_clock_hz: f64,
@@ -84,7 +83,7 @@ impl Default for MachineSpec {
 ///
 /// Produced by the multiplexing pass (§V): either the naive 1:1 mapping or
 /// the greedy merged mapping. PE indices are dense in `0..num_pes`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Mapping {
     /// `pe_of_node[node_id] = pe index`.
     pub pe_of_node: Vec<usize>,

@@ -7,11 +7,10 @@
 //! consumes per invocation so the compiler can size the parallelization.
 
 use crate::token::TokenKind;
-use serde::{Deserialize, Serialize};
 
 /// What arrival on an input fires a trigger: a data window or a specific
 /// control token.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum TriggerOn {
     /// Fires on a data window.
     Data,
@@ -20,7 +19,7 @@ pub enum TriggerOn {
 }
 
 /// One input participating in a method's trigger set.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Trigger {
     /// Input port name.
     pub input: String,
@@ -29,7 +28,7 @@ pub struct Trigger {
 }
 
 /// Resource cost of one invocation of a method.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MethodCost {
     /// Computation cycles consumed per invocation (excluding I/O, which the
     /// simulator charges separately per word moved).
@@ -50,7 +49,7 @@ impl MethodCost {
 
 /// A registered kernel method: its trigger set, the outputs it may write,
 /// and its per-invocation cost.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MethodSpec {
     /// Method name, unique within the kernel.
     pub name: String,

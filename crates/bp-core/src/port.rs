@@ -1,14 +1,13 @@
 //! Kernel input/output parameterization (§II-A).
 
 use crate::geometry::{Dim2, Offset2, Step2};
-use serde::{Deserialize, Serialize};
 
 /// Parameterization of a kernel input: window size, step, offset from the
 /// window origin to the produced output, and whether the input is
 /// *replicated* under parallelization (copied to every replica instead of
 /// being split — e.g. convolution coefficients, shown as dashed edges in the
 /// paper's figures).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct InputSpec {
     /// Port name, unique within the kernel.
     pub name: String,
@@ -85,7 +84,7 @@ impl InputSpec {
 }
 
 /// Parameterization of a kernel output: the block it produces per iteration.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct OutputSpec {
     /// Port name, unique within the kernel.
     pub name: String,

@@ -1,0 +1,123 @@
+//! A small, dependency-free deterministic RNG.
+//!
+//! The repository runs in hermetic environments where crates.io is not
+//! reachable, so everything that needs randomness — the salt-and-pepper
+//! noise plans, the placement annealer, and the randomized test suites —
+//! shares this one splitmix64/xoshiro256** generator instead of pulling in
+//! the `rand` crate. Determinism in the seed is part of the contract:
+//! noise plans and placements are reproducible across runs and platforms.
+
+/// xoshiro256** seeded via splitmix64 — fast, tiny state, good statistical
+/// quality for simulation workloads.
+#[derive(Clone, Debug)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Create a generator from a 64-bit seed (splitmix64 state expansion).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let r = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        r
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.gen_f64() * (hi - lo)
+    }
+
+    /// Uniform boolean.
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Uniform `usize` in `[0, n)`. Panics when `n == 0`.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "gen_index on empty range");
+        // Multiply-shift bounded generation (Lemire); bias is negligible for
+        // the small ranges used here and determinism is what matters.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Uniform `u32` in `[lo, hi)`. Panics when the range is empty.
+    pub fn gen_range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        assert!(lo < hi, "gen_range_u32 on empty range");
+        lo + self.gen_index((hi - lo) as usize) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = Rng64::seed_from_u64(42);
+        let mut b = Rng64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng64::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng64::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn index_in_bounds_and_covers() {
+        let mut r = Rng64::seed_from_u64(9);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            seen[r.gen_index(5)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+        for _ in 0..1_000 {
+            let v = r.gen_range_u32(3, 9);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bool_is_balanced() {
+        let mut r = Rng64::seed_from_u64(11);
+        let trues = (0..10_000).filter(|_| r.gen_bool()).count();
+        assert!((4000..6000).contains(&trues), "trues = {trues}");
+    }
+}

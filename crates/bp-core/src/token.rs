@@ -6,10 +6,9 @@
 //! at which they can be generated, so the compiler can budget resources for
 //! handling them.
 
-use serde::{Deserialize, Serialize};
 
 /// A control token traveling in-order with the data on a channel.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ControlToken {
     /// Emitted by an application input after the last pixel of each row.
     EndOfLine,
@@ -44,7 +43,7 @@ impl std::fmt::Display for ControlToken {
 /// Token kinds a method trigger can match on. Identical to [`ControlToken`]
 /// today, but kept separate so matching stays decoupled from payloads if
 /// tokens ever grow data.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum TokenKind {
     /// Matches [`ControlToken::EndOfLine`].
     EndOfLine,
@@ -58,7 +57,7 @@ pub enum TokenKind {
 /// bounded maximum rate at which the declaring kernel may emit it. The
 /// compiler uses the bound to allocate cycles for downstream handlers
 /// (§II-C).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CustomTokenDecl {
     /// Token id carried by [`ControlToken::Custom`].
     pub id: u16,

@@ -1,97 +1,119 @@
 //! Property-based tests for the windowed-access geometry and the stream
 //! data model — the foundations every analysis builds on.
+//!
+//! These run as seeded randomized sweeps over the same parameter ranges the
+//! original `proptest` strategies drew from; the local [`Rng64`] keeps the
+//! suite hermetic (no crates.io access required) and the fixed seeds keep
+//! every run identical.
 
-use bp_core::geometry::{
-    fresh_samples_per_iteration, halo, iterations, steady_state_reuse,
-};
-use bp_core::{Dim2, Step2, Window};
-use proptest::prelude::*;
+use bp_core::geometry::{fresh_samples_per_iteration, halo, iterations, steady_state_reuse};
+use bp_core::{Dim2, Rng64, Step2, Window};
 
-proptest! {
-    /// The iteration count inverts exactly: data = size + (iters-1)*step.
-    #[test]
-    fn iterations_invert_to_data_extent(
-        w in 1u32..12, h in 1u32..12,
-        sx in 1u32..5, sy in 1u32..5,
-        ix in 1u32..20, iy in 1u32..20,
-    ) {
+const CASES: u32 = 256;
+
+/// The iteration count inverts exactly: data = size + (iters-1)*step.
+#[test]
+fn iterations_invert_to_data_extent() {
+    let mut rng = Rng64::seed_from_u64(0x9e01);
+    for _ in 0..CASES {
+        let (w, h) = (rng.gen_range_u32(1, 12), rng.gen_range_u32(1, 12));
+        let (sx, sy) = (rng.gen_range_u32(1, 5), rng.gen_range_u32(1, 5));
+        let (ix, iy) = (rng.gen_range_u32(1, 20), rng.gen_range_u32(1, 20));
         let size = Dim2::new(w, h);
         let step = Step2::new(sx, sy);
         let data = Dim2::new(w + (ix - 1) * sx, h + (iy - 1) * sy);
-        prop_assert_eq!(iterations(data, size, step), Some(Dim2::new(ix, iy)));
+        assert_eq!(iterations(data, size, step), Some(Dim2::new(ix, iy)));
     }
+}
 
-    /// Non-tiling strides are rejected, never mis-rounded.
-    #[test]
-    fn non_tiling_strides_are_rejected(
-        w in 2u32..8, h in 2u32..8,
-        sx in 2u32..5,
-        extra in 1u32..4,
-    ) {
-        prop_assume!(extra % sx != 0);
+/// Non-tiling strides are rejected, never mis-rounded.
+#[test]
+fn non_tiling_strides_are_rejected() {
+    let mut rng = Rng64::seed_from_u64(0x9e02);
+    let mut checked = 0;
+    while checked < CASES {
+        let (w, h) = (rng.gen_range_u32(2, 8), rng.gen_range_u32(2, 8));
+        let sx = rng.gen_range_u32(2, 5);
+        let extra = rng.gen_range_u32(1, 4);
+        if extra % sx == 0 {
+            continue;
+        }
+        checked += 1;
         let size = Dim2::new(w, h);
         let data = Dim2::new(w + extra, h);
-        prop_assert_eq!(iterations(data, size, Step2::new(sx, 1)), None);
+        assert_eq!(iterations(data, size, Step2::new(sx, 1)), None);
     }
+}
 
-    /// Reuse is always in [0, 1) and consistent with the fresh-sample count.
-    #[test]
-    fn reuse_is_a_fraction(
-        w in 1u32..16, h in 1u32..16,
-        sx in 1u32..20, sy in 1u32..20,
-    ) {
+/// Reuse is always in [0, 1) and consistent with the fresh-sample count.
+#[test]
+fn reuse_is_a_fraction() {
+    let mut rng = Rng64::seed_from_u64(0x9e03);
+    for _ in 0..CASES {
+        let (w, h) = (rng.gen_range_u32(1, 16), rng.gen_range_u32(1, 16));
+        let (sx, sy) = (rng.gen_range_u32(1, 20), rng.gen_range_u32(1, 20));
         let size = Dim2::new(w, h);
         let step = Step2::new(sx, sy);
         let r = steady_state_reuse(size, step);
-        prop_assert!((0.0..1.0).contains(&r));
+        assert!((0.0..1.0).contains(&r));
         let fresh = fresh_samples_per_iteration(size, step);
-        prop_assert!(fresh >= 1);
-        prop_assert!(fresh <= size.area());
+        assert!(fresh >= 1);
+        assert!(fresh <= size.area());
         let expect = (size.area() - fresh) as f64 / size.area() as f64;
-        prop_assert!((r - expect).abs() < 1e-12);
+        assert!((r - expect).abs() < 1e-12);
     }
+}
 
-    /// Halo plus step recovers the window size (when step <= size).
-    #[test]
-    fn halo_complements_step(
-        w in 1u32..16, h in 1u32..16,
-        sx in 1u32..16, sy in 1u32..16,
-    ) {
-        prop_assume!(sx <= w && sy <= h);
+/// Halo plus step recovers the window size (when step <= size).
+#[test]
+fn halo_complements_step() {
+    let mut rng = Rng64::seed_from_u64(0x9e04);
+    let mut checked = 0;
+    while checked < CASES {
+        let (w, h) = (rng.gen_range_u32(1, 16), rng.gen_range_u32(1, 16));
+        let (sx, sy) = (rng.gen_range_u32(1, 16), rng.gen_range_u32(1, 16));
+        if sx > w || sy > h {
+            continue;
+        }
+        checked += 1;
         let hl = halo(Dim2::new(w, h), Step2::new(sx, sy));
-        prop_assert_eq!(hl.w + sx, w);
-        prop_assert_eq!(hl.h + sy, h);
+        assert_eq!(hl.w + sx, w);
+        assert_eq!(hl.h + sy, h);
     }
+}
 
-    /// Window crop/paste roundtrip preserves both regions.
-    #[test]
-    fn crop_paste_roundtrip(
-        (w, h, cw, ch, x0, y0) in (2u32..10, 2u32..10).prop_flat_map(|(w, h)| {
-            (1..=w, 1..=h).prop_flat_map(move |(cw, ch)| {
-                (0..=w - cw, 0..=h - ch)
-                    .prop_map(move |(x0, y0)| (w, h, cw, ch, x0, y0))
-            })
-        }),
-    ) {
+/// Window crop/paste roundtrip preserves both regions.
+#[test]
+fn crop_paste_roundtrip() {
+    let mut rng = Rng64::seed_from_u64(0x9e05);
+    for _ in 0..CASES {
+        let (w, h) = (rng.gen_range_u32(2, 10), rng.gen_range_u32(2, 10));
+        let (cw, ch) = (rng.gen_range_u32(1, w + 1), rng.gen_range_u32(1, h + 1));
+        let x0 = rng.gen_range_u32(0, w - cw + 1);
+        let y0 = rng.gen_range_u32(0, h - ch + 1);
         let original = Window::from_fn(Dim2::new(w, h), |x, y| (y * 100 + x) as f64);
         let cropped = original.crop(x0, y0, Dim2::new(cw, ch));
         let mut restored = original.clone();
         restored.paste(x0, y0, &cropped);
-        prop_assert_eq!(&restored, &original);
+        assert_eq!(&restored, &original);
         // And the crop really is the right region.
         for y in 0..ch {
             for x in 0..cw {
-                prop_assert_eq!(cropped.get(x, y), original.get(x0 + x, y0 + y));
+                assert_eq!(cropped.get(x, y), original.get(x0 + x, y0 + y));
             }
         }
     }
+}
 
-    /// Row-major sample order matches get() coordinates.
-    #[test]
-    fn samples_are_row_major(w in 1u32..12, h in 1u32..12) {
+/// Row-major sample order matches get() coordinates.
+#[test]
+fn samples_are_row_major() {
+    let mut rng = Rng64::seed_from_u64(0x9e06);
+    for _ in 0..CASES {
+        let (w, h) = (rng.gen_range_u32(1, 12), rng.gen_range_u32(1, 12));
         let win = Window::from_fn(Dim2::new(w, h), |x, y| (y * w + x) as f64);
         for (i, v) in win.samples().iter().enumerate() {
-            prop_assert_eq!(*v, i as f64);
+            assert_eq!(*v, i as f64);
         }
     }
 }

@@ -3,8 +3,38 @@
 //! across OS threads. Each simulation itself stays deterministic and
 //! single-threaded; only the batch is parallel, so results are identical to
 //! a sequential run.
+//!
+//! The dispatcher is lock-free on the steady-state path: workers claim jobs
+//! by bumping one shared atomic index over an immutable job slice, and each
+//! result is written to its own pre-sized slot. There is no job-queue mutex
+//! to convoy on and no results-vector lock, so batch throughput scales
+//! linearly with cores until the jobs themselves saturate memory bandwidth.
 
-use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A slice of per-job slots that workers write disjointly. Safety: the
+/// atomic job counter hands every index to exactly one worker, so no two
+/// threads ever touch the same slot.
+struct Slots<T>(Vec<UnsafeCell<Option<T>>>);
+
+unsafe impl<T: Send> Sync for Slots<T> {}
+
+impl<T> Slots<T> {
+    /// Take the value out of slot `i`.
+    ///
+    /// # Safety
+    /// The caller must be the unique owner of slot `i` (each index is handed
+    /// to exactly one worker by the atomic job counter).
+    unsafe fn take(&self, i: usize) -> Option<T> {
+        unsafe { (*self.0[i].get()).take() }
+    }
+
+    /// Write `v` into slot `i`. Same safety contract as [`take`](Self::take).
+    unsafe fn put(&self, i: usize, v: T) {
+        unsafe { *self.0[i].get() = Some(v) };
+    }
+}
 
 /// Run every job, using up to `std::thread::available_parallelism` worker
 /// threads, and return the results in job order.
@@ -21,29 +51,34 @@ where
         .map(|p| p.get())
         .unwrap_or(4)
         .min(n);
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    let queue: Mutex<Vec<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().rev().collect());
 
-    crossbeam::thread::scope(|scope| {
+    // Jobs are also kept in per-slot cells: a worker that claims index `i`
+    // takes the closure out of slot `i` and writes the result into result
+    // slot `i`. The atomic counter is the only shared mutable word.
+    let job_slots = Slots(jobs.into_iter().map(|j| UnsafeCell::new(Some(j))).collect());
+    let results: Slots<T> = Slots((0..n).map(|_| UnsafeCell::new(None)).collect());
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let job = queue.lock().pop();
-                match job {
-                    Some((i, f)) => {
-                        let r = f();
-                        results.lock()[i] = Some(r);
-                    }
-                    None => break,
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
                 }
+                // SAFETY: `i` came from a fetch_add, so this thread is the
+                // unique owner of job slot `i` and result slot `i`.
+                let job = unsafe { job_slots.take(i) }.expect("job claimed twice");
+                let r = job();
+                unsafe { results.put(i, r) };
             });
         }
-    })
-    .expect("simulation worker panicked");
+    });
 
     results
-        .into_inner()
+        .0
         .into_iter()
-        .map(|r| r.expect("every job ran"))
+        .map(|c| c.into_inner().expect("every job ran"))
         .collect()
 }
 

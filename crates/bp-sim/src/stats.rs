@@ -1,10 +1,9 @@
 //! Simulation statistics: per-PE utilization broken down into run/read/write
 //! time (as in the paper's Fig. 13) and real-time verdicts.
 
-use serde::{Deserialize, Serialize};
 
 /// Busy-time accounting for one processing element, in seconds.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct PeStats {
     /// Time spent executing kernel method bodies.
     pub run: f64,
@@ -23,7 +22,7 @@ impl PeStats {
 
 /// Outcome of checking the simulated execution against the application's
 /// real-time input rate.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RealTimeVerdict {
     /// True when every input pixel could be accepted on schedule and all
     /// frames completed.
@@ -38,7 +37,7 @@ pub struct RealTimeVerdict {
 }
 
 /// Full report of one timed simulation.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SimReport {
     /// Per-PE busy time.
     pub pe_stats: Vec<PeStats>,

@@ -1,47 +1,49 @@
 //! Property-based end-to-end tests: for randomized frame sizes and rates
 //! within the machine's feasible envelope, the compiled (buffered, aligned,
 //! parallelized) applications stay bit-identical to their golden models.
+//!
+//! Seeded randomized sweeps (hermetic replacement for the original
+//! `proptest` strategies; same parameter ranges, fixed seeds).
 
 use bp_apps::{apps, reference};
 use bp_compiler::{compile, CompileOptions};
-use bp_core::Dim2;
+use bp_core::{Dim2, Rng64};
 use bp_sim::FunctionalExecutor;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The Fig. 1(b) pipeline matches its golden model at any feasible
-    /// size/rate, whatever parallelization the compiler chooses.
-    #[test]
-    fn fig1b_matches_golden_for_any_config(
-        w in 10u32..36,
-        h in 8u32..24,
-        rate in 20.0f64..220.0,
-    ) {
+/// The Fig. 1(b) pipeline matches its golden model at any feasible
+/// size/rate, whatever parallelization the compiler chooses.
+#[test]
+fn fig1b_matches_golden_for_any_config() {
+    let mut rng = Rng64::seed_from_u64(0xe2e1);
+    for _ in 0..24 {
+        let w = rng.gen_range_u32(10, 36);
+        let h = rng.gen_range_u32(8, 24);
+        let rate = rng.gen_range_f64(20.0, 220.0);
         let dim = Dim2::new(w, h);
         let app = apps::fig1b(dim, rate);
         let compiled = compile(&app.graph, &CompileOptions::default()).unwrap();
         let mut ex = FunctionalExecutor::new(&compiled.graph).unwrap();
         ex.run_frames(2).unwrap();
-        prop_assert_eq!(ex.residual_items(), 0);
+        assert_eq!(ex.residual_items(), 0);
         let frames = app.sinks[0].1.frames();
-        prop_assert_eq!(frames.len(), 2);
+        assert_eq!(frames.len(), 2);
         for (f, counts) in frames.iter().enumerate() {
             let expected = reference::fig1b_expected(w, h, f as u32, 32, -128.0, 128.0);
-            prop_assert_eq!(counts, &expected, "frame {} at {}x{} @ {:.0}Hz", f, w, h, rate);
+            assert_eq!(counts, &expected, "frame {f} at {w}x{h} @ {rate:.0}Hz");
         }
     }
+}
 
-    /// Histogram totals are conserved: however the compiler splits the
-    /// counting, every input sample lands in exactly one bin.
-    #[test]
-    fn histogram_conserves_samples(
-        w in 6u32..40,
-        h in 4u32..30,
-        rate in 20.0f64..400.0,
-        bins in 4u32..64,
-    ) {
+/// Histogram totals are conserved: however the compiler splits the
+/// counting, every input sample lands in exactly one bin.
+#[test]
+fn histogram_conserves_samples() {
+    let mut rng = Rng64::seed_from_u64(0xe2e2);
+    for _ in 0..24 {
+        let w = rng.gen_range_u32(6, 40);
+        let h = rng.gen_range_u32(4, 30);
+        let rate = rng.gen_range_f64(20.0, 400.0);
+        let bins = rng.gen_range_u32(4, 64);
         let dim = Dim2::new(w, h);
         let app = apps::histogram_app(dim, rate, bins);
         let compiled = compile(&app.graph, &CompileOptions::default()).unwrap();
@@ -49,17 +51,19 @@ proptest! {
         ex.run_frames(2).unwrap();
         for counts in app.sinks[0].1.frames() {
             let total: f64 = counts.iter().sum();
-            prop_assert_eq!(total, (w * h) as f64);
+            assert_eq!(total, (w * h) as f64);
         }
     }
+}
 
-    /// The multi-convolution pipeline equals repeated reference convolution
-    /// regardless of stage count (each stage re-buffers automatically).
-    #[test]
-    fn multi_conv_matches_iterated_reference(
-        stages in 1usize..5,
-        rate in 20.0f64..120.0,
-    ) {
+/// The multi-convolution pipeline equals repeated reference convolution
+/// regardless of stage count (each stage re-buffers automatically).
+#[test]
+fn multi_conv_matches_iterated_reference() {
+    let mut rng = Rng64::seed_from_u64(0xe2e3);
+    for _ in 0..8 {
+        let stages = rng.gen_index(4) + 1;
+        let rate = rng.gen_range_f64(20.0, 120.0);
         let dim = Dim2::new(20, 14);
         let app = apps::multi_conv(dim, rate, stages);
         let compiled = compile(&app.graph, &CompileOptions::default()).unwrap();
@@ -75,25 +79,27 @@ proptest! {
         }
         let expected: Vec<f64> = img.into_iter().flatten().collect();
         let got = &app.sinks[0].1.frames()[0];
-        prop_assert_eq!(got.len(), expected.len());
+        assert_eq!(got.len(), expected.len());
         for (g, e) in got.iter().zip(&expected) {
-            prop_assert!((g - e).abs() < 1e-9);
+            assert!((g - e).abs() < 1e-9);
         }
     }
+}
 
-    /// Compilation is deterministic: two runs yield identical structure.
-    #[test]
-    fn compilation_is_deterministic(
-        w in 10u32..30,
-        h in 8u32..20,
-        rate in 20.0f64..200.0,
-    ) {
+/// Compilation is deterministic: two runs yield identical structure.
+#[test]
+fn compilation_is_deterministic() {
+    let mut rng = Rng64::seed_from_u64(0xe2e4);
+    for _ in 0..24 {
+        let w = rng.gen_range_u32(10, 30);
+        let h = rng.gen_range_u32(8, 20);
+        let rate = rng.gen_range_f64(20.0, 200.0);
         let dim = Dim2::new(w, h);
         let a = compile(&apps::fig1b(dim, rate).graph, &CompileOptions::default()).unwrap();
         let b = compile(&apps::fig1b(dim, rate).graph, &CompileOptions::default()).unwrap();
-        prop_assert_eq!(a.report.census.nodes, b.report.census.nodes);
-        prop_assert_eq!(a.report.census.channels, b.report.census.channels);
-        prop_assert_eq!(a.mapping.pe_of_node, b.mapping.pe_of_node);
-        prop_assert_eq!(a.report.pes_used, b.report.pes_used);
+        assert_eq!(a.report.census.nodes, b.report.census.nodes);
+        assert_eq!(a.report.census.channels, b.report.census.channels);
+        assert_eq!(a.mapping.pe_of_node, b.mapping.pe_of_node);
+        assert_eq!(a.report.pes_used, b.report.pes_used);
     }
 }

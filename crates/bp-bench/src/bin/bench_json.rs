@@ -1,0 +1,248 @@
+//! E-perf — machine-readable performance trajectory: writes `BENCH_sim.json`
+//! with (a) the Fig. 13 utilization suite and (b) wall-clock throughput of
+//! the timed and functional simulators on the Fig. 4 / Fig. 1(b) pipeline
+//! at the reference configuration (40x24 @ 200 Hz).
+//!
+//! The first run records its numbers as the committed `"baseline"` object;
+//! later runs keep that object verbatim, refresh `"current"`, and report
+//! the speedup over baseline, so the performance history is visible
+//! in-tree. Schema documented in EXPERIMENTS.md.
+
+use bp_bench::compile_and_simulate;
+use bp_compiler::{compile, CompileOptions, MappingKind};
+use bp_sim::{run_batch, FunctionalExecutor, SimConfig, SimReport, TimedSimulator};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Timed samples per throughput measurement (median reported).
+const SAMPLES: usize = 15;
+/// Frames simulated per sample at the reference configuration.
+const FRAMES: u32 = 4;
+
+/// One simulator throughput measurement.
+struct Throughput {
+    wall_ms_median: f64,
+    firings: u64,
+    windows_per_sec: f64,
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+/// Wall-clock throughput of the timed simulator at the reference config.
+/// "Windows per second" counts kernel firings (each consumes/produces one
+/// window or token set) per wall-clock second of simulation.
+fn bench_timed() -> Throughput {
+    let app = bp_apps::fig1b(bp_apps::BIG, bp_apps::FAST);
+    let opts = CompileOptions::default();
+    let compiled = compile(&app.graph, &opts).expect("compile fig1b BIG/FAST");
+    let config = SimConfig::new(FRAMES).with_machine(opts.machine);
+    let mut walls = Vec::with_capacity(SAMPLES);
+    let mut firings = 0u64;
+    for s in 0..SAMPLES + 2 {
+        let t0 = Instant::now();
+        let report = TimedSimulator::new(&compiled.graph, &compiled.mapping, config)
+            .expect("instantiate")
+            .run()
+            .expect("run");
+        let wall = t0.elapsed().as_secs_f64();
+        let total: u64 = report.node_firings.iter().sum();
+        if firings == 0 {
+            firings = total;
+        }
+        assert_eq!(total, firings, "timed simulation must be deterministic");
+        if s >= 2 {
+            walls.push(wall); // first two samples are warm-up
+        }
+    }
+    let wall = median(walls);
+    Throughput {
+        wall_ms_median: wall * 1e3,
+        firings,
+        windows_per_sec: firings as f64 / wall,
+    }
+}
+
+/// Wall-clock throughput of the functional executor at the reference config.
+fn bench_functional() -> Throughput {
+    let app = bp_apps::fig1b(bp_apps::BIG, bp_apps::FAST);
+    let opts = CompileOptions::default();
+    let compiled = compile(&app.graph, &opts).expect("compile fig1b BIG/FAST");
+    let mut walls = Vec::with_capacity(SAMPLES);
+    let mut firings = 0u64;
+    for s in 0..SAMPLES + 2 {
+        let t0 = Instant::now();
+        let mut ex = FunctionalExecutor::new(&compiled.graph).expect("instantiate");
+        ex.run_frames(FRAMES).expect("run");
+        let wall = t0.elapsed().as_secs_f64();
+        let total: u64 = ex.program().nodes.iter().map(|n| n.firings).sum();
+        if firings == 0 {
+            firings = total;
+        }
+        assert_eq!(total, firings, "functional execution must be deterministic");
+        if s >= 2 {
+            walls.push(wall);
+        }
+    }
+    let wall = median(walls);
+    Throughput {
+        wall_ms_median: wall * 1e3,
+        firings,
+        windows_per_sec: firings as f64 / wall,
+    }
+}
+
+/// One Fig. 13 row: utilization under both mappings.
+struct SuiteRow {
+    label: &'static str,
+    util_one_to_one: f64,
+    util_greedy: f64,
+}
+
+/// Run the full Fig. 13 suite (11 benchmarks x 2 mappings) in parallel.
+fn bench_fig13() -> (Vec<SuiteRow>, f64) {
+    let suite = bp_apps::fig13_suite();
+    let jobs: Vec<Box<dyn FnOnce() -> SimReport + Send>> = suite
+        .iter()
+        .flat_map(|case| {
+            [MappingKind::OneToOne, MappingKind::Greedy].into_iter().map(|kind| {
+                let build = case.build;
+                let label = case.label;
+                let f: Box<dyn FnOnce() -> SimReport + Send> = Box::new(move || {
+                    let app = build();
+                    let opts = CompileOptions { mapping: kind, ..Default::default() };
+                    compile_and_simulate(&app, &opts, 3)
+                        .unwrap_or_else(|e| panic!("{label} ({kind:?}): {e}"))
+                        .1
+                });
+                f
+            })
+        })
+        .collect();
+    let results = run_batch(jobs);
+    let rows: Vec<SuiteRow> = suite
+        .iter()
+        .enumerate()
+        .map(|(i, case)| SuiteRow {
+            label: case.label,
+            util_one_to_one: results[2 * i].avg_utilization(),
+            util_greedy: results[2 * i + 1].avg_utilization(),
+        })
+        .collect();
+    let avg = rows
+        .iter()
+        .map(|r| r.util_greedy / r.util_one_to_one.max(1e-9))
+        .sum::<f64>()
+        / rows.len() as f64;
+    (rows, avg)
+}
+
+/// Render one snapshot (baseline or current) as a JSON object.
+fn snapshot_json(timed: &Throughput, func: &Throughput, rows: &[SuiteRow], avg_imp: f64) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(
+        s,
+        "    \"timed_primary\": {{ \"app\": \"fig1b\", \"dim\": \"40x24\", \"rate_hz\": 200.0, \
+         \"frames\": {FRAMES}, \"samples\": {SAMPLES}, \"wall_ms_median\": {:.3}, \
+         \"firings\": {}, \"windows_per_sec\": {:.1} }},",
+        timed.wall_ms_median, timed.firings, timed.windows_per_sec
+    );
+    let _ = writeln!(
+        s,
+        "    \"functional_primary\": {{ \"app\": \"fig1b\", \"dim\": \"40x24\", \"rate_hz\": 200.0, \
+         \"frames\": {FRAMES}, \"samples\": {SAMPLES}, \"wall_ms_median\": {:.3}, \
+         \"firings\": {}, \"windows_per_sec\": {:.1} }},",
+        func.wall_ms_median, func.firings, func.windows_per_sec
+    );
+    s.push_str("    \"fig13\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "      {{ \"bench\": \"{}\", \"util_one_to_one\": {:.4}, \"util_greedy\": {:.4} }}{}",
+            r.label,
+            r.util_one_to_one,
+            r.util_greedy,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    s.push_str("    ],\n");
+    let _ = writeln!(s, "    \"fig13_avg_improvement\": {avg_imp:.3}");
+    s.push_str("  }");
+    s
+}
+
+/// Extract the balanced-brace object value of `"key":` from raw JSON text.
+/// The schema contains no braces inside strings, so brace counting is exact.
+fn extract_object(src: &str, key: &str) -> Option<String> {
+    let kpos = src.find(&format!("\"{key}\":"))?;
+    let start = kpos + src[kpos..].find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in src[start..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(src[start..=start + i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Extract the first numeric value of `"key":` inside `obj`.
+fn extract_number(obj: &str, key: &str) -> Option<f64> {
+    let kpos = obj.find(&format!("\"{key}\":"))?;
+    let rest = &obj[kpos + key.len() + 3..];
+    let end = rest
+        .find(|c: char| c == ',' || c == '}' || c == ']')
+        .unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sim.json".to_string());
+
+    println!("measuring timed-simulator throughput (fig1b 40x24 @ 200 Hz, {FRAMES} frames)...");
+    let timed = bench_timed();
+    println!(
+        "  timed: median {:.3} ms, {} firings, {:.0} windows/s",
+        timed.wall_ms_median, timed.firings, timed.windows_per_sec
+    );
+    println!("measuring functional-executor throughput...");
+    let func = bench_functional();
+    println!(
+        "  functional: median {:.3} ms, {} firings, {:.0} windows/s",
+        func.wall_ms_median, func.firings, func.windows_per_sec
+    );
+    println!("running Fig. 13 suite (22 parallel simulations)...");
+    let (rows, avg_imp) = bench_fig13();
+    println!("  fig13 average GM/1:1 utilization improvement: {avg_imp:.2}x");
+
+    let current = snapshot_json(&timed, &func, &rows, avg_imp);
+
+    // Keep an existing committed baseline verbatim; otherwise this run is it.
+    let previous = std::fs::read_to_string(&out_path).ok();
+    let baseline = previous
+        .as_deref()
+        .and_then(|p| extract_object(p, "baseline"))
+        .unwrap_or_else(|| current.clone());
+
+    let base_wps = extract_number(&baseline, "windows_per_sec").unwrap_or(timed.windows_per_sec);
+    let speedup = timed.windows_per_sec / base_wps.max(1e-9);
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"bench_sim/v1\",\n");
+    let _ = writeln!(out, "  \"baseline\": {baseline},");
+    let _ = writeln!(out, "  \"current\": {current},");
+    let _ = writeln!(out, "  \"timed_speedup_vs_baseline\": {speedup:.3}");
+    out.push_str("}\n");
+    std::fs::write(&out_path, &out).expect("write BENCH_sim.json");
+    println!("wrote {out_path} (timed speedup vs baseline: {speedup:.2}x)");
+}

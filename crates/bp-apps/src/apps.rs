@@ -186,7 +186,10 @@ pub fn temporal_iir(dim: Dim2, rate_hz: f64) -> App {
 /// one-dimensional signal handling"): `samples`×1 frames through a 9-tap
 /// low-pass FIR and a decimate-by-4 stage.
 pub fn fir_radio(samples: u32, rate_hz: f64) -> App {
-    assert!(samples > 8 && (samples - 8).is_multiple_of(4), "FIR output must tile the decimator");
+    assert!(
+        samples > 8 && (samples - 8).is_multiple_of(4),
+        "FIR output must tile the decimator"
+    );
     let dim = Dim2::new(samples, 1);
     let mut b = GraphBuilder::new();
     let src = b.add_source("Input", k::frame_source(dim, pattern_gen()), dim, rate_hz);

@@ -2,9 +2,9 @@
 //! the standard test pattern, standing in for real sensor data when
 //! exercising the denoising pipelines.
 
+use bp_core::Rng64;
 use bp_core::{Dim2, KernelDef};
 use bp_kernels::{frame_source, PixelGen};
-use bp_core::Rng64;
 use std::sync::Arc;
 
 /// A pregenerated salt-and-pepper corruption plan: for each frame in a
@@ -21,7 +21,14 @@ impl NoisePlan {
     /// Generate a plan: each pixel of each frame in the period is corrupted
     /// with probability `density`, half to `lo` ("pepper"), half to `hi`
     /// ("salt"). Deterministic in `seed`.
-    pub fn salt_and_pepper(dim: Dim2, period: u32, density: f64, lo: f64, hi: f64, seed: u64) -> Self {
+    pub fn salt_and_pepper(
+        dim: Dim2,
+        period: u32,
+        density: f64,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+    ) -> Self {
         assert!((0.0..=1.0).contains(&density));
         assert!(period >= 1);
         let mut rng = Rng64::seed_from_u64(seed);
@@ -122,7 +129,10 @@ mod tests {
         let plan = NoisePlan::salt_and_pepper(dim, 1, 0.0, 0.0, 255.0, 1);
         for y in 0..6 {
             for x in 0..6 {
-                assert_eq!(plan.pixel(0, x, y), crate::reference::pattern_pixel(0, x, y));
+                assert_eq!(
+                    plan.pixel(0, x, y),
+                    crate::reference::pattern_pixel(0, x, y)
+                );
             }
         }
     }

@@ -145,7 +145,14 @@ pub fn fig1b_expected(w: u32, h: u32, frame: u32, bins: usize, lo: f64, hi: f64)
 
 /// Golden model for the Fig. 1(b) application under the PadZero policy:
 /// the convolution input is padded by 1, growing its output to 18×10.
-pub fn fig1b_expected_padded(w: u32, h: u32, frame: u32, bins: usize, lo: f64, hi: f64) -> Vec<f64> {
+pub fn fig1b_expected_padded(
+    w: u32,
+    h: u32,
+    frame: u32,
+    bins: usize,
+    lo: f64,
+    hi: f64,
+) -> Vec<f64> {
     let img = pattern_frame(w, h, frame);
     let med = median_valid(&img, 3, 3);
     let box5 = vec![vec![1.0 / 25.0; 5]; 5];
@@ -193,7 +200,11 @@ pub fn sobel_valid(img: &Image) -> Image {
 /// Per-pixel binarization.
 pub fn threshold_img(img: &Image, level: f64) -> Image {
     img.iter()
-        .map(|r| r.iter().map(|&v| if v >= level { 1.0 } else { 0.0 }).collect())
+        .map(|r| {
+            r.iter()
+                .map(|&v| if v >= level { 1.0 } else { 0.0 })
+                .collect()
+        })
         .collect()
 }
 
@@ -211,7 +222,8 @@ pub fn bayer_expected(img: &Image) -> (Image, Image, Image) {
             let cx = ox + 1;
             let cy = oy + 1;
             let c = img[cy][cx];
-            let edges = (img[cy][cx - 1] + img[cy][cx + 1] + img[cy - 1][cx] + img[cy + 1][cx]) / 4.0;
+            let edges =
+                (img[cy][cx - 1] + img[cy][cx + 1] + img[cy - 1][cx] + img[cy + 1][cx]) / 4.0;
             let corners = (img[cy - 1][cx - 1]
                 + img[cy - 1][cx + 1]
                 + img[cy + 1][cx - 1]

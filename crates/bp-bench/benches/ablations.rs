@@ -2,6 +2,8 @@
 //! greedy multiplexing vs 1:1 mapping, the Fig. 9 reuse-optimized buffering
 //! variants, and the simulated-annealing placement pass.
 
+use bp_bench::microbench::{BenchmarkId, Criterion};
+use bp_bench::{criterion_group, criterion_main};
 use bp_compiler::place::{place_annealed, AnnealConfig};
 use bp_compiler::{
     align, analyze, compile, insert_buffers, parallelize_with_reuse, AlignPolicy, CompileOptions,
@@ -9,13 +11,14 @@ use bp_compiler::{
 };
 use bp_core::MachineSpec;
 use bp_sim::{SimConfig, TimedSimulator};
-use bp_bench::microbench::{BenchmarkId, Criterion};
-use bp_bench::{criterion_group, criterion_main};
 
 fn bench_mapping_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("mapping");
     group.sample_size(15);
-    for (label, kind) in [("one-to-one", MappingKind::OneToOne), ("greedy", MappingKind::Greedy)] {
+    for (label, kind) in [
+        ("one-to-one", MappingKind::OneToOne),
+        ("greedy", MappingKind::Greedy),
+    ] {
         let app = bp_apps::fig1b(bp_apps::SMALL, bp_apps::FAST);
         let compiled = compile(
             &app.graph,

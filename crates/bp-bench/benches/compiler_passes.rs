@@ -2,20 +2,23 @@
 //! alignment, buffering, parallelization, and the full pipeline, across
 //! application sizes.
 
+use bp_bench::microbench::{BenchmarkId, Criterion};
+use bp_bench::{criterion_group, criterion_main};
 use bp_compiler::{
     align, analyze_with, compile, insert_buffers, parallelize, AlignPolicy, CompileOptions,
     Strictness,
 };
 use bp_core::MachineSpec;
-use bp_bench::microbench::{BenchmarkId, Criterion};
-use bp_bench::{criterion_group, criterion_main};
 
 fn bench_dataflow(c: &mut Criterion) {
     let mut group = c.benchmark_group("dataflow");
     for (label, app) in [
         ("fig1b-small", bp_apps::fig1b(bp_apps::SMALL, bp_apps::SLOW)),
         ("fig1b-big", bp_apps::fig1b(bp_apps::BIG, bp_apps::FAST)),
-        ("multiconv-8", bp_apps::multi_conv(bp_apps::BIG, bp_apps::SLOW, 8)),
+        (
+            "multiconv-8",
+            bp_apps::multi_conv(bp_apps::BIG, bp_apps::SLOW, 8),
+        ),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &app, |b, app| {
             // Lenient mode: the source graphs are not yet aligned (§III-C),

@@ -2,10 +2,10 @@
 //! throughput, convolution/median firings, histogram counting, and the
 //! split/join FSMs.
 
-use bp_core::kernel::{Emitter, FireData, KernelDef};
-use bp_core::{Dim2, Item, Step2, Window};
 use bp_bench::microbench::{Criterion, Throughput};
 use bp_bench::{criterion_group, criterion_main};
+use bp_core::kernel::{Emitter, FireData, KernelDef};
+use bp_core::{Dim2, Item, Step2, Window};
 
 /// Drive a single-input kernel behavior over a frame's pixel stream.
 fn drive_frame(def: &KernelDef, w: u32, h: u32) -> usize {
@@ -79,7 +79,10 @@ fn bench_compute_kernels(c: &mut Criterion) {
     let hist = bp_kernels::histogram(32);
     group.bench_function("histogram-count", |b| {
         let mut beh = (hist.factory)();
-        let consumed = vec![(1usize, Item::Window(bp_kernels::uniform_bins(32, 0.0, 256.0)))];
+        let consumed = vec![(
+            1usize,
+            Item::Window(bp_kernels::uniform_bins(32, 0.0, 256.0)),
+        )];
         let data = FireData::new(&hist.spec, &consumed);
         let mut out = Emitter::new(&hist.spec);
         beh.fire("configureBins", &data, &mut out);
@@ -131,5 +134,10 @@ fn bench_split_join(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_buffer, bench_compute_kernels, bench_split_join);
+criterion_group!(
+    benches,
+    bench_buffer,
+    bench_compute_kernels,
+    bench_split_join
+);
 criterion_main!(benches);

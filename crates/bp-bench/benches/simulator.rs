@@ -1,10 +1,10 @@
 //! Criterion benchmarks for the executors: untimed functional execution and
 //! the timing-accurate discrete-event simulator, on compiled applications.
 
-use bp_compiler::{compile, CompileOptions};
-use bp_sim::{FunctionalExecutor, SimConfig, TimedSimulator};
 use bp_bench::microbench::{BenchmarkId, Criterion};
 use bp_bench::{criterion_group, criterion_main};
+use bp_compiler::{compile, CompileOptions};
+use bp_sim::{FunctionalExecutor, SimConfig, TimedSimulator};
 
 fn bench_functional(c: &mut Criterion) {
     let mut group = c.benchmark_group("functional");

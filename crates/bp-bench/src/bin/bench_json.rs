@@ -107,18 +107,23 @@ fn bench_fig13() -> (Vec<SuiteRow>, f64) {
     let jobs: Vec<Box<dyn FnOnce() -> SimReport + Send>> = suite
         .iter()
         .flat_map(|case| {
-            [MappingKind::OneToOne, MappingKind::Greedy].into_iter().map(|kind| {
-                let build = case.build;
-                let label = case.label;
-                let f: Box<dyn FnOnce() -> SimReport + Send> = Box::new(move || {
-                    let app = build();
-                    let opts = CompileOptions { mapping: kind, ..Default::default() };
-                    compile_and_simulate(&app, &opts, 3)
-                        .unwrap_or_else(|e| panic!("{label} ({kind:?}): {e}"))
-                        .1
-                });
-                f
-            })
+            [MappingKind::OneToOne, MappingKind::Greedy]
+                .into_iter()
+                .map(|kind| {
+                    let build = case.build;
+                    let label = case.label;
+                    let f: Box<dyn FnOnce() -> SimReport + Send> = Box::new(move || {
+                        let app = build();
+                        let opts = CompileOptions {
+                            mapping: kind,
+                            ..Default::default()
+                        };
+                        compile_and_simulate(&app, &opts, 3)
+                            .unwrap_or_else(|e| panic!("{label} ({kind:?}): {e}"))
+                            .1
+                    });
+                    f
+                })
         })
         .collect();
     let results = run_batch(jobs);
@@ -199,14 +204,14 @@ fn extract_object(src: &str, key: &str) -> Option<String> {
 fn extract_number(obj: &str, key: &str) -> Option<f64> {
     let kpos = obj.find(&format!("\"{key}\":"))?;
     let rest = &obj[kpos + key.len() + 3..];
-    let end = rest
-        .find(|c: char| c == ',' || c == '}' || c == ']')
-        .unwrap_or(rest.len());
+    let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
     rest[..end].trim().parse().ok()
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
 
     println!("measuring timed-simulator throughput (fig1b 40x24 @ 200 Hz, {FRAMES} frames)...");
     let timed = bench_timed();

@@ -24,7 +24,12 @@ fn main() {
             "buffer".into(),
             format!(
                 "({}x{})[1,1] -> ({}x{})[{},{}] {}",
-                b.producer.w, b.producer.h, b.window.w, b.window.h, b.step.x, b.step.y,
+                b.producer.w,
+                b.producer.h,
+                b.window.w,
+                b.window.h,
+                b.step.x,
+                b.step.y,
                 b.annotation()
             ),
             format!("{} words", b.storage_words),

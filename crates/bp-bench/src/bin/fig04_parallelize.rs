@@ -74,5 +74,8 @@ fn main() {
         sim.verdict.achieved_rate_hz,
         sim.num_pes()
     );
-    println!("\n== parallelized graph (Graphviz) ==\n{}", to_dot(&compiled.graph));
+    println!(
+        "\n== parallelized graph (Graphviz) ==\n{}",
+        to_dot(&compiled.graph)
+    );
 }

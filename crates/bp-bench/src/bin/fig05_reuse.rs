@@ -39,7 +39,12 @@ fn main() {
             step.to_string(),
             halo(size, step).to_string(),
             fresh_samples_per_iteration(size, step).to_string(),
-            format!("{:.1}% ({}/{})", 100.0 * reuse, size.area() - fresh_samples_per_iteration(size, step), size.area()),
+            format!(
+                "{:.1}% ({}/{})",
+                100.0 * reuse,
+                size.area() - fresh_samples_per_iteration(size, step),
+                size.area()
+            ),
             iterations(data, size, step)
                 .map(|d| d.to_string())
                 .unwrap_or_else(|| "n/a".into()),

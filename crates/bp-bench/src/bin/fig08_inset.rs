@@ -15,12 +15,21 @@ fn main() {
 
     let df = analyze_with(&app.graph, Strictness::Lenient).expect("dataflow");
     let insets = analyze_insets(&app.graph).expect("insets");
-    assert_eq!(df.misalignments.len(), 1, "the subtract kernel is misaligned");
+    assert_eq!(
+        df.misalignments.len(),
+        1,
+        "the subtract kernel is misaligned"
+    );
     let mis = &df.misalignments[0];
     let regions = regions_for(&app.graph, &df, &insets, mis.node, &mis.inputs).expect("regions");
 
     println!("== Figure 8: output insets at the Subtract kernel (20x12 input) ==\n");
-    let mut t = Table::new(&["input", "inset (x,y)", "data size", "region [x0..x1) x [y0..y1)"]);
+    let mut t = Table::new(&[
+        "input",
+        "inset (x,y)",
+        "data size",
+        "region [x0..x1) x [y0..y1)",
+    ]);
     for (port, inset, shape) in &regions.inputs {
         let name = &app.graph.node(mis.node).spec().inputs[*port].name;
         t.row(&[
@@ -58,8 +67,14 @@ fn main() {
         for a in &report.inserted {
             println!(
                 "  inserted {} ({}) margins l{} r{} t{} b{} for {}.{}",
-                a.name, a.kind, a.margins.0, a.margins.1, a.margins.2, a.margins.3,
-                a.for_input.0, a.for_input.1
+                a.name,
+                a.kind,
+                a.margins.0,
+                a.margins.1,
+                a.margins.2,
+                a.margins.3,
+                a.for_input.0,
+                a.for_input.1
             );
         }
     }

@@ -86,7 +86,11 @@ fn main() {
             } else {
                 format!("{:.0}% (in order)", 100.0 * report.reuse_fraction)
             },
-            if sim.verdict.met { "met".into() } else { "MISSED".into() },
+            if sim.verdict.met {
+                "met".into()
+            } else {
+                "MISSED".into()
+            },
             format!("{:.1}", sim.verdict.achieved_rate_hz),
             sim.num_pes().to_string(),
         ]);

@@ -17,7 +17,12 @@ fn main() {
     let ranges = plan_column_ranges(12, 3, 1, 2);
     println!("width 12, 3x3 window, split k=2 -> ranges:");
     for (i, r) in ranges.iter().enumerate() {
-        println!("  buffer {i}: columns {}..={} ({} wide)", r.start, r.end, r.width());
+        println!(
+            "  buffer {i}: columns {}..={} ({} wide)",
+            r.start,
+            r.end,
+            r.width()
+        );
     }
     let shared: Vec<u32> = (0..12)
         .filter(|x| ranges.iter().filter(|r| r.contains(*x)).count() > 1)

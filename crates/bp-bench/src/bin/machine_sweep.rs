@@ -18,7 +18,8 @@ struct Case {
 
 fn main() {
     println!("== Machine sensitivity: Fig. 1(b) app (20x12 @ 200 Hz) across machines ==\n");
-    let cases = [Case {
+    let cases = [
+        Case {
             name: "default (1 MHz, 320 w, 16 w/cyc)",
             machine: MachineSpec::default_eval(),
         },
@@ -41,7 +42,8 @@ fn main() {
         Case {
             name: "narrow port (1 w/cyc)",
             machine: MachineSpec::narrow_port(),
-        }];
+        },
+    ];
 
     type Row = (usize, usize, u32, u32, bool, f64, usize);
     let jobs: Vec<Box<dyn FnOnce() -> Option<Row> + Send>> = cases

@@ -72,7 +72,13 @@ fn main() {
     let rows = run_batch(jobs);
 
     let mut t = Table::new(&[
-        "bench", "mapping", "PEs", "util", "latency", "annealed wirelength", "verdict",
+        "bench",
+        "mapping",
+        "PEs",
+        "util",
+        "latency",
+        "annealed wirelength",
+        "verdict",
     ]);
     for r in &rows {
         t.row(&[

@@ -11,7 +11,7 @@
 pub mod microbench;
 
 use bp_apps::App;
-use bp_compiler::{compile, Compiled, CompileOptions};
+use bp_compiler::{compile, CompileOptions, Compiled};
 use bp_core::Result;
 use bp_sim::{SimConfig, SimReport, TimedSimulator};
 

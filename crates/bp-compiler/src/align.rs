@@ -204,9 +204,9 @@ fn insert_pad_upstream(
                 graph.node(producer).name
             ))
         })?;
-    let (mut wcid, mut wch) = graph.channel_into(producer, win_port).ok_or_else(|| {
-        BpError::Transform("windowed input has no channel".into())
-    })?;
+    let (mut wcid, mut wch) = graph
+        .channel_into(producer, win_port)
+        .ok_or_else(|| BpError::Transform("windowed input has no channel".into()))?;
     // Pad the raw pixel stream: walk upstream through any single-input
     // plumbing (buffers) so the pad sees 1x1 items. When this pass runs in
     // its intended position — before buffering — this is a no-op.

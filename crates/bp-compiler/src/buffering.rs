@@ -184,8 +184,7 @@ mod tests {
         b.connect(conv, "out", o2, "in");
         let mut g = b.build().unwrap();
         let report = insert_buffers(&mut g).unwrap();
-        let mut annotations: Vec<String> =
-            report.inserted.iter().map(|b| b.annotation()).collect();
+        let mut annotations: Vec<String> = report.inserted.iter().map(|b| b.annotation()).collect();
         annotations.sort();
         assert_eq!(annotations, vec!["[20x10]", "[20x6]"]);
     }

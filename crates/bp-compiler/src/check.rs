@@ -104,7 +104,10 @@ pub fn check_compiled(
             if *m > machine.pe_memory_words {
                 report.push(
                     "pe-memory",
-                    format!("PE {pe} holds {m} words (limit {})", machine.pe_memory_words),
+                    format!(
+                        "PE {pe} holds {m} words (limit {})",
+                        machine.pe_memory_words
+                    ),
                 );
             }
         }
@@ -160,11 +163,7 @@ mod tests {
             let df = analyze(&compiled.graph).unwrap();
             let machine = bp_core::MachineSpec::default_eval();
             let report = check_compiled(&compiled.graph, &df, &machine, &compiled.mapping);
-            assert!(
-                report.is_clean(),
-                "violations: {:#?}",
-                report.violations
-            );
+            assert!(report.is_clean(), "violations: {:#?}", report.violations);
         }
     }
 
@@ -191,13 +190,16 @@ mod tests {
         let machine = bp_core::MachineSpec::default_eval();
         let mapping = bp_core::Mapping::one_to_one(app2.graph.node_count());
         let report = check_compiled(&app2.graph, &df, &machine, &mapping);
-        assert!(report
-            .violations
-            .iter()
-            .any(|v| v.rule == "grain"), "{:?}", report.violations);
+        assert!(
+            report.violations.iter().any(|v| v.rule == "grain"),
+            "{:?}",
+            report.violations
+        );
         // And the overloaded buffer memory is flagged too (640 > 320).
-        assert!(report.violations.iter().any(|v| v.rule == "node-memory") ||
-                report.violations.iter().any(|v| v.rule == "grain"));
+        assert!(
+            report.violations.iter().any(|v| v.rule == "node-memory")
+                || report.violations.iter().any(|v| v.rule == "grain")
+        );
         let _ = app;
     }
 

@@ -432,11 +432,7 @@ fn try_analyze_node(
             .map(|(mi, m)| na.method_rate_hz[mi] * m.cost.cycles as f64)
             .sum();
         // Writes follow the out-channel item rates (exact for buffers too).
-        na.write_words_per_sec = out_info
-            .iter()
-            .flatten()
-            .map(|ci| ci.words_per_sec())
-            .sum();
+        na.write_words_per_sec = out_info.iter().flatten().map(|ci| ci.words_per_sec()).sum();
     }
 
     // Install out-channel infos.
@@ -537,7 +533,10 @@ fn analyze_windowed(
                     misalignments.push(Misalignment {
                         node: id,
                         method: mi,
-                        inputs: contributions.iter().map(|(pi, _, sh, _)| (*pi, *sh)).collect(),
+                        inputs: contributions
+                            .iter()
+                            .map(|(pi, _, sh, _)| (*pi, *sh))
+                            .collect(),
                     });
                 }
             }
@@ -580,19 +579,13 @@ fn analyze_windowed(
                     right,
                     top,
                     bottom,
-                } => Dim2::new(
-                    info.shape.w - left - right,
-                    info.shape.h - top - bottom,
-                ),
+                } => Dim2::new(info.shape.w - left - right, info.shape.h - top - bottom),
                 ShapeTransform::Pad {
                     left,
                     right,
                     top,
                     bottom,
-                } => Dim2::new(
-                    info.shape.w + left + right,
-                    info.shape.h + top + bottom,
-                ),
+                } => Dim2::new(info.shape.w + left + right, info.shape.h + top + bottom),
                 _ => Dim2::new(it.w * o.size.w, it.h * o.size.h),
             };
             let items =
@@ -657,7 +650,12 @@ mod tests {
     /// §III-A example: conv iterates 96x96 at 50 Hz.
     fn conv_app() -> (AppGraph, NodeId, NodeId) {
         let mut b = GraphBuilder::new();
-        let src = b.add_source("Input", k::pattern_source(Dim2::new(100, 100)), Dim2::new(100, 100), 50.0);
+        let src = b.add_source(
+            "Input",
+            k::pattern_source(Dim2::new(100, 100)),
+            Dim2::new(100, 100),
+            50.0,
+        );
         let buf = b.add(
             "Buf",
             k::buffer(Dim2::ONE, Dim2::new(5, 5), Step2::ONE, Dim2::new(100, 100)),
@@ -722,7 +720,12 @@ mod tests {
         // source -> median(3x3) path and direct path into subtract: the
         // median output is 2 smaller, so subtract's inputs disagree.
         let mut b = GraphBuilder::new();
-        let src = b.add_source("Input", k::pattern_source(Dim2::new(8, 8)), Dim2::new(8, 8), 10.0);
+        let src = b.add_source(
+            "Input",
+            k::pattern_source(Dim2::new(8, 8)),
+            Dim2::new(8, 8),
+            10.0,
+        );
         let buf = b.add(
             "Buf",
             k::buffer(Dim2::ONE, Dim2::new(3, 3), Step2::ONE, Dim2::new(8, 8)),
@@ -747,7 +750,10 @@ mod tests {
         let dim = Dim2::new(16, 8);
         let src = b.add_source("Input", k::pattern_source(dim), dim, 30.0);
         let hist = b.add("Hist", k::histogram(32));
-        let bins = b.add("Bins", k::const_source("bins", k::uniform_bins(32, 0.0, 256.0)));
+        let bins = b.add(
+            "Bins",
+            k::const_source("bins", k::uniform_bins(32, 0.0, 256.0)),
+        );
         let merge = b.add("Merge", k::histogram_merge(32));
         let (sdef, _h) = k::sink();
         let snk = b.add("Out", sdef);

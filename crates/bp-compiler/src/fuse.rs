@@ -57,9 +57,9 @@ pub fn fuse_pipelines(graph: &mut AppGraph) -> Result<FuseReport> {
             graph.remove_channel(b_cid);
         }
         // Drop the join -> split link; both nodes are now fully detached.
-        let (js_cid, _) = graph.channel_into(split, 0).ok_or_else(|| {
-            BpError::Transform(format!("split '{sname}' input unconnected"))
-        })?;
+        let (js_cid, _) = graph
+            .channel_into(split, 0)
+            .ok_or_else(|| BpError::Transform(format!("split '{sname}' input unconnected")))?;
         graph.remove_channel(js_cid);
         graph.compact();
         report.fused.push((jname, sname));

@@ -71,9 +71,7 @@ pub fn analyze_insets(graph: &AppGraph) -> Result<InsetAnalysis> {
             | NodeRole::Replicate
             | NodeRole::Feedback
             | NodeRole::Sink => in_insets.first().copied().flatten(),
-            NodeRole::Inset | NodeRole::Pad | NodeRole::User => {
-                windowed_inset(spec, &in_insets)
-            }
+            NodeRole::Inset | NodeRole::Pad | NodeRole::User => windowed_inset(spec, &in_insets),
         };
 
         if let Some(inset) = produced {
@@ -152,8 +150,16 @@ pub struct AlignmentRegions {
 impl AlignmentRegions {
     /// The intersection of the input regions: `(lo_x, lo_y, hi_x, hi_y)`.
     pub fn intersection(&self) -> (f64, f64, f64, f64) {
-        let lo_x = self.inputs.iter().map(|(_, i, _)| i.x).fold(f64::MIN, f64::max);
-        let lo_y = self.inputs.iter().map(|(_, i, _)| i.y).fold(f64::MIN, f64::max);
+        let lo_x = self
+            .inputs
+            .iter()
+            .map(|(_, i, _)| i.x)
+            .fold(f64::MIN, f64::max);
+        let lo_y = self
+            .inputs
+            .iter()
+            .map(|(_, i, _)| i.y)
+            .fold(f64::MIN, f64::max);
         let hi_x = self
             .inputs
             .iter()
@@ -169,8 +175,16 @@ impl AlignmentRegions {
 
     /// The union of the input regions: `(lo_x, lo_y, hi_x, hi_y)`.
     pub fn union(&self) -> (f64, f64, f64, f64) {
-        let lo_x = self.inputs.iter().map(|(_, i, _)| i.x).fold(f64::MAX, f64::min);
-        let lo_y = self.inputs.iter().map(|(_, i, _)| i.y).fold(f64::MAX, f64::min);
+        let lo_x = self
+            .inputs
+            .iter()
+            .map(|(_, i, _)| i.x)
+            .fold(f64::MAX, f64::min);
+        let lo_y = self
+            .inputs
+            .iter()
+            .map(|(_, i, _)| i.y)
+            .fold(f64::MAX, f64::min);
         let hi_x = self
             .inputs
             .iter()
@@ -220,9 +234,15 @@ mod tests {
         let dim = Dim2::new(20, 12);
         let mut b = GraphBuilder::new();
         let src = b.add_source("Input", k::pattern_source(dim), dim, 50.0);
-        let mbuf = b.add("BufM", k::buffer(Dim2::ONE, Dim2::new(3, 3), Step2::ONE, dim));
+        let mbuf = b.add(
+            "BufM",
+            k::buffer(Dim2::ONE, Dim2::new(3, 3), Step2::ONE, dim),
+        );
         let med = b.add("Median", k::median(3, 3));
-        let cbuf = b.add("BufC", k::buffer(Dim2::ONE, Dim2::new(5, 5), Step2::ONE, dim));
+        let cbuf = b.add(
+            "BufC",
+            k::buffer(Dim2::ONE, Dim2::new(5, 5), Step2::ONE, dim),
+        );
         let conv = b.add("Conv", k::conv2d(5, 5));
         let coeff = b.add("Coeff", k::const_source("coeff", k::box_coefficients(5, 5)));
         let sub = b.add("Subtract", k::subtract());

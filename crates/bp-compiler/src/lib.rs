@@ -33,6 +33,6 @@ pub use fuse::{fuse_pipelines, FuseReport};
 pub use inset::{analyze_insets, InsetAnalysis, InsetInfo};
 pub use multiplex::{map, map_greedy, map_one_to_one, map_packed, MappingKind};
 pub use parallelize::{parallelize, ParallelizeReport, ReplicaReason};
-pub use pipeline::{compile, summarize, to_dot, Compiled, CompileOptions, CompileReport};
+pub use pipeline::{compile, summarize, to_dot, CompileOptions, CompileReport, Compiled};
 pub use place::{place_annealed, AnnealConfig, Placement};
 pub use reuse::{parallelize_with_reuse, ReuseReport, ReuseVariant};

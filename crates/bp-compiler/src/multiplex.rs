@@ -57,10 +57,9 @@ fn fed_from_source(graph: &AppGraph, id: NodeId, depth: usize) -> bool {
         let role = graph.node(up).spec().role;
         match role {
             NodeRole::Source => return true,
-            NodeRole::Split | NodeRole::Replicate
-                if fed_from_source(graph, up, depth - 1) => {
-                    return true;
-                }
+            NodeRole::Split | NodeRole::Replicate if fed_from_source(graph, up, depth - 1) => {
+                return true;
+            }
             _ => {}
         }
     }
@@ -79,7 +78,9 @@ pub fn map_greedy(graph: &AppGraph, df: &Dataflow, machine: &MachineSpec) -> Map
         .map(|(_, node)| node.spec().memory_words())
         .collect();
 
-    let order = graph.topo_order().unwrap_or_else(|_| (0..n).map(NodeId).collect());
+    let order = graph
+        .topo_order()
+        .unwrap_or_else(|_| (0..n).map(NodeId).collect());
     let mut assign: Vec<Option<usize>> = vec![None; n];
     let mut pe_util: Vec<f64> = Vec::new();
     let mut pe_mem: Vec<u64> = Vec::new();
@@ -154,7 +155,11 @@ pub fn map_packed(graph: &AppGraph, df: &Dataflow, machine: &MachineSpec) -> Map
         .map(|(_, node)| node.spec().memory_words())
         .collect();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|a, b| util[*b].partial_cmp(&util[*a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|a, b| {
+        util[*b]
+            .partial_cmp(&util[*a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let mut assign: Vec<Option<usize>> = vec![None; n];
     let mut pe_util: Vec<f64> = Vec::new();
@@ -251,11 +256,7 @@ mod tests {
         let greedy = map_greedy(&g, &df, &machine);
         let buf = g.find_node("Buf").unwrap();
         let buf_pe = greedy.pe_of_node[buf.0];
-        let sharers = greedy
-            .pe_of_node
-            .iter()
-            .filter(|pe| **pe == buf_pe)
-            .count();
+        let sharers = greedy.pe_of_node.iter().filter(|pe| **pe == buf_pe).count();
         assert_eq!(sharers, 1, "initial input buffer must not be multiplexed");
         assert!(is_pinned(&g, buf));
         assert!(is_pinned(&g, g.find_node("Input").unwrap()));
@@ -274,10 +275,7 @@ mod tests {
         // Pinned nodes stay alone under packing too.
         let buf = g.find_node("Buf").unwrap();
         let pe = packed.pe_of_node[buf.0];
-        assert_eq!(
-            packed.pe_of_node.iter().filter(|p| **p == pe).count(),
-            1
-        );
+        assert_eq!(packed.pe_of_node.iter().filter(|p| **p == pe).count(), 1);
     }
 
     #[test]

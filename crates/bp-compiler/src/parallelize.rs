@@ -198,7 +198,10 @@ fn replicate_data_parallel(
     // Inputs: split or replicate.
     for (port, input) in spec.inputs.iter().enumerate() {
         let (cid, ch) = graph.channel_into(id, port).ok_or_else(|| {
-            BpError::Transform(format!("input '{}' of '{base_name}' unconnected", input.name))
+            BpError::Transform(format!(
+                "input '{}' of '{base_name}' unconnected",
+                input.name
+            ))
         })?;
         let grain = df
             .channels
@@ -237,10 +240,7 @@ fn replicate_data_parallel(
                     node: dist,
                     port: r,
                 },
-                PortRef {
-                    node: *rep,
-                    port,
-                },
+                PortRef { node: *rep, port },
             );
         }
     }
@@ -272,10 +272,7 @@ fn replicate_data_parallel(
         // Replicas feed the join.
         for (r, rep) in replicas.iter().enumerate() {
             graph.add_channel(
-                PortRef {
-                    node: *rep,
-                    port,
-                },
+                PortRef { node: *rep, port },
                 PortRef {
                     node: join,
                     port: r,
@@ -471,7 +468,10 @@ mod tests {
         // Very fast input: histogram alone would want several replicas.
         let src = b.add_source("Input", k::pattern_source(dim), dim, 400.0);
         let hist = b.add("Histogram", k::histogram(32));
-        let bins = b.add("Bins", k::const_source("bins", k::uniform_bins(32, 0.0, 256.0)));
+        let bins = b.add(
+            "Bins",
+            k::const_source("bins", k::uniform_bins(32, 0.0, 256.0)),
+        );
         let merge = b.add("Merge", k::histogram_merge(32));
         let (sdef, _h) = k::sink();
         let snk = b.add("Out", sdef);

@@ -128,8 +128,7 @@ pub fn compile(graph: &AppGraph, opts: &CompileOptions) -> Result<Compiled> {
     let total_demand: f64 = (0..g.node_count())
         .map(|i| dataflow.nodes[i].total_cycles_per_sec(&opts.machine))
         .sum();
-    let estimated_utilization =
-        total_demand / (mapping.num_pes as f64 * opts.machine.pe_clock_hz);
+    let estimated_utilization = total_demand / (mapping.num_pes as f64 * opts.machine.pe_clock_hz);
 
     let census = GraphCensus::of(&g);
     Ok(Compiled {
@@ -164,7 +163,12 @@ pub fn summarize(c: &Compiled) -> String {
     for b in &c.report.buffering.inserted {
         s.push_str(&format!(
             "buffer {} {} ({}x{})[{}..] over {}\n",
-            b.name, b.annotation(), b.window.w, b.window.h, b.step.x, b.data
+            b.name,
+            b.annotation(),
+            b.window.w,
+            b.window.h,
+            b.step.x,
+            b.data
         ));
     }
     for (join, split) in &c.report.fuse.fused {
@@ -240,10 +244,16 @@ mod tests {
         let src = b.add_source("Input", k::pattern_source(dim), dim, rate);
         let med = b.add("3x3 Median", k::median(3, 3));
         let conv = b.add("5x5 Conv", k::conv2d(5, 5));
-        let coeff = b.add("5x5 Coeff", k::const_source("coeff", k::box_coefficients(5, 5)));
+        let coeff = b.add(
+            "5x5 Coeff",
+            k::const_source("coeff", k::box_coefficients(5, 5)),
+        );
         let sub = b.add("Subtract", k::subtract());
         let hist = b.add("Histogram", k::histogram(32));
-        let bins = b.add("Hist Bins", k::const_source("bins", k::uniform_bins(32, -128.0, 128.0)));
+        let bins = b.add(
+            "Hist Bins",
+            k::const_source("bins", k::uniform_bins(32, -128.0, 128.0)),
+        );
         let merge = b.add("Merge", k::histogram_merge(32));
         let (sdef, handle) = k::sink();
         let snk = b.add("result", sdef);

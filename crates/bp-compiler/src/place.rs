@@ -220,7 +220,10 @@ mod tests {
         let dim = Dim2::new(4, 4);
         let mut b = GraphBuilder::new();
         let src = b.add_source("Input", k::pattern_source(dim), dim, 10.0);
-        let buf = b.add("B", k::buffer(Dim2::ONE, Dim2::new(2, 2), Step2::new(2, 2), dim));
+        let buf = b.add(
+            "B",
+            k::buffer(Dim2::ONE, Dim2::new(2, 2), Step2::new(2, 2), dim),
+        );
         let (sdef, _h) = k::sink();
         let snk = b.add("Out", sdef);
         b.connect(src, "out", buf, "in");

@@ -158,7 +158,10 @@ fn transform_group(
         in_cid,
         bp_core::Channel {
             src: in_ch.src,
-            dst: PortRef { node: split, port: 0 },
+            dst: PortRef {
+                node: split,
+                port: 0,
+            },
         },
     );
 
@@ -175,8 +178,14 @@ fn transform_group(
             bufs.push(graph.add_node(format!("{bname}_{i}"), def));
         }
         graph.add_channel(
-            PortRef { node: split, port: i },
-            PortRef { node: bufs[i], port: 0 },
+            PortRef {
+                node: split,
+                port: i,
+            },
+            PortRef {
+                node: bufs[i],
+                port: 0,
+            },
         );
     }
 
@@ -197,7 +206,10 @@ fn transform_group(
         }
         graph.add_channel(
             PortRef { node: b, port: 0 },
-            PortRef { node: c, port: data_port },
+            PortRef {
+                node: c,
+                port: data_port,
+            },
         );
     }
 
@@ -219,10 +231,7 @@ fn transform_group(
             },
         );
         for (i, &c) in reps.iter().enumerate() {
-            graph.add_channel(
-                PortRef { node: rep, port: i },
-                PortRef { node: c, port },
-            );
+            graph.add_channel(PortRef { node: rep, port: i }, PortRef { node: c, port });
         }
     }
 
@@ -240,10 +249,7 @@ fn transform_group(
                         Dim2::new(counts[i] * cspec.outputs[0].size.w, iters_y),
                     ),
                 );
-                graph.add_channel(
-                    PortRef { node: c, port: 0 },
-                    PortRef { node: ob, port: 0 },
-                );
+                graph.add_channel(PortRef { node: c, port: 0 }, PortRef { node: ob, port: 0 });
                 ob
             })
             .collect()
@@ -270,7 +276,10 @@ fn transform_group(
         graph.set_channel(
             cid,
             bp_core::Channel {
-                src: PortRef { node: join, port: 0 },
+                src: PortRef {
+                    node: join,
+                    port: 0,
+                },
                 dst: ch.dst,
             },
         );
@@ -278,7 +287,10 @@ fn transform_group(
     for (i, &t) in tails.iter().enumerate() {
         graph.add_channel(
             PortRef { node: t, port: 0 },
-            PortRef { node: join, port: i },
+            PortRef {
+                node: join,
+                port: i,
+            },
         );
     }
     Ok(())
@@ -316,9 +328,12 @@ mod tests {
     #[test]
     fn split_input_variant_builds_per_replica_buffers() {
         let (mut g, _h) = prepared(200.0);
-        let report =
-            parallelize_with_reuse(&mut g, &MachineSpec::default_eval(), ReuseVariant::SplitInput)
-                .unwrap();
+        let report = parallelize_with_reuse(
+            &mut g,
+            &MachineSpec::default_eval(),
+            ReuseVariant::SplitInput,
+        )
+        .unwrap();
         assert_eq!(report.groups.len(), 1);
         let (_, _, k) = report.groups[0];
         assert!(k >= 2);
@@ -347,9 +362,12 @@ mod tests {
     #[test]
     fn round_robin_variant_is_the_default_pass() {
         let (mut g, _h) = prepared(200.0);
-        let report =
-            parallelize_with_reuse(&mut g, &MachineSpec::default_eval(), ReuseVariant::RoundRobin)
-                .unwrap();
+        let report = parallelize_with_reuse(
+            &mut g,
+            &MachineSpec::default_eval(),
+            ReuseVariant::RoundRobin,
+        )
+        .unwrap();
         assert!(report.groups.is_empty());
         assert_eq!(report.reuse_fraction, 0.0);
         assert!(g.find_node("Split(Conv.in)").is_some());
@@ -358,9 +376,12 @@ mod tests {
     #[test]
     fn slow_rate_leaves_graph_unchanged() {
         let (mut g, _h) = prepared(50.0);
-        let report =
-            parallelize_with_reuse(&mut g, &MachineSpec::default_eval(), ReuseVariant::SplitInput)
-                .unwrap();
+        let report = parallelize_with_reuse(
+            &mut g,
+            &MachineSpec::default_eval(),
+            ReuseVariant::SplitInput,
+        )
+        .unwrap();
         assert!(report.groups.is_empty());
     }
 

@@ -35,9 +35,17 @@ mod tests {
 
     #[test]
     fn display_includes_category() {
-        assert!(BpError::Validation("x".into()).to_string().contains("validation"));
-        assert!(BpError::Analysis("x".into()).to_string().contains("analysis"));
-        assert!(BpError::Transform("x".into()).to_string().contains("transform"));
-        assert!(BpError::Simulation("x".into()).to_string().contains("simulation"));
+        assert!(BpError::Validation("x".into())
+            .to_string()
+            .contains("validation"));
+        assert!(BpError::Analysis("x".into())
+            .to_string()
+            .contains("analysis"));
+        assert!(BpError::Transform("x".into())
+            .to_string()
+            .contains("transform"));
+        assert!(BpError::Simulation("x".into())
+            .to_string()
+            .contains("simulation"));
     }
 }

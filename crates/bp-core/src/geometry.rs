@@ -8,7 +8,6 @@
 //! data movement, reuse, and iteration counts — the key simplification the
 //! paper makes relative to fully general multidimensional dataflow.
 
-
 /// A two-dimensional extent in samples.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Dim2 {
@@ -195,7 +194,10 @@ mod tests {
 
     #[test]
     fn iterations_rejects_nonfitting_windows() {
-        assert_eq!(iterations(Dim2::new(4, 4), Dim2::new(5, 5), Step2::ONE), None);
+        assert_eq!(
+            iterations(Dim2::new(4, 4), Dim2::new(5, 5), Step2::ONE),
+            None
+        );
         // Stride does not tile: (10-4)=6 not divisible by 4.
         assert_eq!(
             iterations(Dim2::new(10, 10), Dim2::new(4, 4), Step2::new(4, 4)),
@@ -205,10 +207,7 @@ mod tests {
             iterations(Dim2::new(10, 10), Dim2::new(2, 2), Step2::new(2, 2)),
             Some(Dim2::new(5, 5))
         );
-        assert_eq!(
-            iterations(Dim2::ONE, Dim2::ONE, Step2::new(0, 1)),
-            None
-        );
+        assert_eq!(iterations(Dim2::ONE, Dim2::ONE, Step2::new(0, 1)), None);
     }
 
     #[test]

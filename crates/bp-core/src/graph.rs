@@ -400,7 +400,9 @@ impl AppGraph {
 
         for dep in &self.dep_edges {
             if dep.src.0 >= self.nodes.len() || dep.dst.0 >= self.nodes.len() {
-                return Err(BpError::Validation("dependency edge references missing node".into()));
+                return Err(BpError::Validation(
+                    "dependency edge references missing node".into(),
+                ));
             }
         }
 
@@ -493,7 +495,11 @@ impl GraphBuilder {
         frame: Dim2,
         rate_hz: f64,
     ) -> NodeId {
-        debug_assert_eq!(def.spec.role, NodeRole::Source, "add_source requires a Source kernel");
+        debug_assert_eq!(
+            def.spec.role,
+            NodeRole::Source,
+            "add_source requires a Source kernel"
+        );
         let id = self.graph.add_node(name, def);
         self.graph.set_source_info(SourceInfo {
             node: id,
@@ -596,7 +602,11 @@ mod tests {
             KernelSpec::new("source")
                 .with_role(NodeRole::Source)
                 .output(OutputSpec::stream("out"))
-                .method(MethodSpec::source("gen", vec!["out".into()], MethodCost::new(0, 0))),
+                .method(MethodSpec::source(
+                    "gen",
+                    vec!["out".into()],
+                    MethodCost::new(0, 0),
+                )),
             || Nop,
         )
     }
@@ -606,7 +616,12 @@ mod tests {
             KernelSpec::new("sink")
                 .with_role(NodeRole::Sink)
                 .input(InputSpec::stream("in"))
-                .method(MethodSpec::on_data("take", "in", vec![], MethodCost::new(0, 0))),
+                .method(MethodSpec::on_data(
+                    "take",
+                    "in",
+                    vec![],
+                    MethodCost::new(0, 0),
+                )),
             || Nop,
         )
     }
@@ -645,8 +660,18 @@ mod tests {
         let spec = KernelSpec::new("dup")
             .input(InputSpec::stream("in"))
             .output(OutputSpec::stream("out"))
-            .method(MethodSpec::on_data("a", "in", vec![], MethodCost::default()))
-            .method(MethodSpec::on_data("b", "in", vec![], MethodCost::default()));
+            .method(MethodSpec::on_data(
+                "a",
+                "in",
+                vec![],
+                MethodCost::default(),
+            ))
+            .method(MethodSpec::on_data(
+                "b",
+                "in",
+                vec![],
+                MethodCost::default(),
+            ));
         let def = KernelDef::new(spec, || Nop);
         let mut b = GraphBuilder::new();
         let s = b.add_source("Input", source_def(), Dim2::new(4, 4), 10.0);
@@ -686,10 +711,8 @@ mod tests {
         let mut b = GraphBuilder::new();
         let s = b.graph.add_node("Input", source_def()); // bypass add_source
         let t = b.add("Out", sink_def());
-        b.graph.add_channel(
-            PortRef { node: s, port: 0 },
-            PortRef { node: t, port: 0 },
-        );
+        b.graph
+            .add_channel(PortRef { node: s, port: 0 }, PortRef { node: t, port: 0 });
         let err = b.build().unwrap_err();
         assert!(err.to_string().contains("no registered frame"));
     }
@@ -708,7 +731,12 @@ mod tests {
             .with_role(NodeRole::Split)
             .input(InputSpec::stream("in"))
             .output(OutputSpec::stream("out0"))
-            .method(MethodSpec::on_data("dispatch", "in", vec!["out0".into()], MethodCost::new(1, 0)));
+            .method(MethodSpec::on_data(
+                "dispatch",
+                "in",
+                vec!["out0".into()],
+                MethodCost::new(1, 0),
+            ));
         let orphan = g.add_node("Orphan", KernelDef::new(split_spec, || Nop));
         assert_eq!(g.node_count(), 4);
         let remap = g.compact();

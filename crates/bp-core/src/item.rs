@@ -2,6 +2,21 @@
 
 use crate::geometry::Dim2;
 use crate::token::ControlToken;
+use std::sync::Arc;
+
+/// Window sample storage. 1×1 windows — the grain of raw pixel streams,
+/// by far the most numerous items in a simulation — carry their sample
+/// inline; larger windows share a reference-counted slice so that cloning
+/// (channel fan-out, replicate kernels) is a refcount bump instead of a
+/// deep copy. Mutation goes through copy-on-write: unique owners mutate in
+/// place, shared owners get a private copy first.
+#[derive(Clone, Debug)]
+enum Payload {
+    /// The single sample of a 1×1 window, stored inline (no allocation).
+    Scalar(f64),
+    /// Row-major samples of a larger window, shared on clone.
+    Shared(Arc<[f64]>),
+}
 
 /// A rectangular block of samples — the unit of data transferred per
 /// iteration on a channel. The grain of a channel equals the producing
@@ -9,20 +24,43 @@ use crate::token::ControlToken;
 ///
 /// Samples are stored in scan-line (row-major) order, matching the fixed
 /// left-to-right, top-to-bottom data ordering the language mandates.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Cloning a window is cheap: the payload is either a single inline sample
+/// or a shared reference-counted slice. Mutating accessors ([`set`](Self::set),
+/// [`samples_mut`](Self::samples_mut), [`paste`](Self::paste)) copy on
+/// write when the storage is shared.
+#[derive(Clone, Debug)]
 pub struct Window {
     w: u32,
     h: u32,
-    data: Vec<f64>,
+    data: Payload,
+}
+
+impl PartialEq for Window {
+    fn eq(&self, other: &Self) -> bool {
+        self.w == other.w && self.h == other.h && self.samples() == other.samples()
+    }
 }
 
 impl Window {
+    fn from_data(w: u32, h: u32, data: Vec<f64>) -> Self {
+        let data = if data.len() == 1 {
+            Payload::Scalar(data[0])
+        } else {
+            Payload::Shared(data.into())
+        };
+        Self { w, h, data }
+    }
+
     /// A window filled with a constant value.
     pub fn filled(dim: Dim2, value: f64) -> Self {
+        if dim.area() == 1 {
+            return Self::scalar(value);
+        }
         Self {
             w: dim.w,
             h: dim.h,
-            data: vec![value; dim.area() as usize],
+            data: Payload::Shared(vec![value; dim.area() as usize].into()),
         }
     }
 
@@ -33,17 +71,16 @@ impl Window {
 
     /// Build a window from a function of (x, y).
     pub fn from_fn(dim: Dim2, mut f: impl FnMut(u32, u32) -> f64) -> Self {
+        if dim.area() == 1 {
+            return Self::scalar(f(0, 0));
+        }
         let mut data = Vec::with_capacity(dim.area() as usize);
         for y in 0..dim.h {
             for x in 0..dim.w {
                 data.push(f(x, y));
             }
         }
-        Self {
-            w: dim.w,
-            h: dim.h,
-            data,
-        }
+        Self::from_data(dim.w, dim.h, data)
     }
 
     /// Build a window from row-major samples. Panics if the sample count
@@ -54,19 +91,16 @@ impl Window {
             dim.area(),
             "window data length must match dimensions"
         );
-        Self {
-            w: dim.w,
-            h: dim.h,
-            data,
-        }
+        Self::from_data(dim.w, dim.h, data)
     }
 
-    /// A 1×1 window holding a single sample — the grain of raw pixel streams.
+    /// A 1×1 window holding a single sample — the grain of raw pixel
+    /// streams. Allocation-free.
     pub fn scalar(value: f64) -> Self {
         Self {
             w: 1,
             h: 1,
-            data: vec![value],
+            data: Payload::Scalar(value),
         }
     }
 
@@ -89,30 +123,53 @@ impl Window {
     #[inline]
     pub fn get(&self, x: u32, y: u32) -> f64 {
         assert!(x < self.w && y < self.h, "window access out of bounds");
-        self.data[(y * self.w + x) as usize]
+        self.samples()[(y * self.w + x) as usize]
     }
 
-    /// Set the sample at (x, y). Panics when out of bounds.
+    /// Set the sample at (x, y), copying shared storage first. Panics when
+    /// out of bounds.
     #[inline]
     pub fn set(&mut self, x: u32, y: u32, v: f64) {
         assert!(x < self.w && y < self.h, "window access out of bounds");
-        self.data[(y * self.w + x) as usize] = v;
+        let idx = (y * self.w + x) as usize;
+        self.samples_mut()[idx] = v;
     }
 
     /// The single sample of a 1×1 window. Panics otherwise.
     pub fn as_scalar(&self) -> f64 {
-        assert_eq!(self.data.len(), 1, "as_scalar requires a 1x1 window");
-        self.data[0]
+        match &self.data {
+            Payload::Scalar(v) => *v,
+            Payload::Shared(a) => {
+                assert_eq!(a.len(), 1, "as_scalar requires a 1x1 window");
+                a[0]
+            }
+        }
     }
 
     /// Row-major view of the samples.
     pub fn samples(&self) -> &[f64] {
-        &self.data
+        match &self.data {
+            Payload::Scalar(v) => std::slice::from_ref(v),
+            Payload::Shared(a) => a,
+        }
     }
 
-    /// Mutable row-major view of the samples.
+    /// Mutable row-major view of the samples. Copies shared storage on
+    /// first write (copy-on-write); unique owners mutate in place.
     pub fn samples_mut(&mut self) -> &mut [f64] {
-        &mut self.data
+        match &mut self.data {
+            Payload::Scalar(v) => std::slice::from_mut(v),
+            Payload::Shared(a) => Arc::make_mut(a),
+        }
+    }
+
+    /// True when this window's storage is shared with another clone (it
+    /// would copy on write). 1×1 windows are never shared.
+    pub fn is_shared(&self) -> bool {
+        match &self.data {
+            Payload::Scalar(_) => false,
+            Payload::Shared(a) => Arc::strong_count(a) > 1,
+        }
     }
 
     /// Copy the rectangle starting at (x0, y0) with extent `dim` into a new
@@ -122,30 +179,29 @@ impl Window {
             x0 + dim.w <= self.w && y0 + dim.h <= self.h,
             "crop rectangle out of bounds"
         );
+        let src = self.samples();
         let mut data = Vec::with_capacity(dim.area() as usize);
         for y in 0..dim.h {
             let row = ((y0 + y) * self.w + x0) as usize;
-            data.extend_from_slice(&self.data[row..row + dim.w as usize]);
+            data.extend_from_slice(&src[row..row + dim.w as usize]);
         }
-        Window {
-            w: dim.w,
-            h: dim.h,
-            data,
-        }
+        Self::from_data(dim.w, dim.h, data)
     }
 
-    /// Paste `src` into this window with its origin at (x0, y0).
-    /// Panics if the source exceeds the bounds.
+    /// Paste `src` into this window with its origin at (x0, y0), copying
+    /// shared storage first. Panics if the source exceeds the bounds.
     pub fn paste(&mut self, x0: u32, y0: u32, src: &Window) {
         assert!(
             x0 + src.w <= self.w && y0 + src.h <= self.h,
             "paste rectangle out of bounds"
         );
+        let w = self.w;
+        let dst = self.samples_mut();
+        let sdata = src.samples();
         for y in 0..src.h {
-            let drow = ((y0 + y) * self.w + x0) as usize;
+            let drow = ((y0 + y) * w + x0) as usize;
             let srow = (y * src.w) as usize;
-            self.data[drow..drow + src.w as usize]
-                .copy_from_slice(&src.data[srow..srow + src.w as usize]);
+            dst[drow..drow + src.w as usize].copy_from_slice(&sdata[srow..srow + src.w as usize]);
         }
     }
 }
@@ -249,5 +305,36 @@ mod tests {
         assert_eq!(t.control(), Some(ControlToken::EndOfFrame));
         assert!(w.window().is_some());
         assert!(w.into_window().is_some());
+    }
+
+    #[test]
+    fn clone_shares_until_written() {
+        let a = Window::from_fn(Dim2::new(4, 4), |x, y| (y * 4 + x) as f64);
+        let mut b = a.clone();
+        assert!(a.is_shared() && b.is_shared());
+        assert_eq!(a.samples().as_ptr(), b.samples().as_ptr());
+        b.set(0, 0, 99.0);
+        // Write un-shares: b got a private copy, a is untouched.
+        assert!(!a.is_shared() && !b.is_shared());
+        assert_eq!(a.get(0, 0), 0.0);
+        assert_eq!(b.get(0, 0), 99.0);
+    }
+
+    #[test]
+    fn unique_owner_mutates_in_place() {
+        let mut a = Window::zeros(Dim2::new(3, 3));
+        let before = a.samples().as_ptr();
+        a.set(1, 1, 7.0);
+        assert_eq!(a.samples().as_ptr(), before);
+        assert_eq!(a.get(1, 1), 7.0);
+    }
+
+    #[test]
+    fn scalar_windows_compare_regardless_of_storage() {
+        let inline = Window::scalar(2.0);
+        let boxed = Window::from_vec(Dim2::ONE, vec![2.0]);
+        assert_eq!(inline, boxed);
+        assert!(!boxed.is_shared());
+        assert_eq!(boxed.as_scalar(), 2.0);
     }
 }

@@ -227,7 +227,12 @@ impl KernelSpec {
     /// maximum working memory over all methods, plus the implicit one-
     /// iteration I/O buffers on every port (§II-A).
     pub fn memory_words(&self) -> u64 {
-        let working = self.methods.iter().map(|m| m.cost.memory_words).max().unwrap_or(0);
+        let working = self
+            .methods
+            .iter()
+            .map(|m| m.cost.memory_words)
+            .max()
+            .unwrap_or(0);
         let io: u64 = self
             .inputs
             .iter()
@@ -239,7 +244,11 @@ impl KernelSpec {
 
     /// The worst-case cycles of any single method, used for coarse estimates.
     pub fn max_method_cycles(&self) -> u64 {
-        self.methods.iter().map(|m| m.cost.cycles).max().unwrap_or(0)
+        self.methods
+            .iter()
+            .map(|m| m.cost.cycles)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -300,9 +309,17 @@ pub struct Emitter<'a> {
 impl<'a> Emitter<'a> {
     /// New empty emitter for a kernel.
     pub fn new(spec: &'a KernelSpec) -> Self {
+        Self::with_buffer(spec, Vec::new())
+    }
+
+    /// New emitter backed by a recycled buffer, so steady-state firing
+    /// reuses one allocation per node instead of allocating per firing.
+    /// The buffer is cleared; [`into_parts`](Self::into_parts) returns it.
+    pub fn with_buffer(spec: &'a KernelSpec, mut buf: Vec<(usize, Item)>) -> Self {
+        buf.clear();
         Self {
             spec,
-            emitted: Vec::new(),
+            emitted: buf,
             actual_cycles: None,
         }
     }
@@ -337,7 +354,10 @@ impl<'a> Emitter<'a> {
 
     /// Emit an item by output index (used by generic forwarding code).
     pub fn item_at(&mut self, output_idx: usize, item: Item) {
-        assert!(output_idx < self.spec.outputs.len(), "output index out of range");
+        assert!(
+            output_idx < self.spec.outputs.len(),
+            "output index out of range"
+        );
         self.emitted.push((output_idx, item));
     }
 
@@ -402,7 +422,9 @@ impl KernelDef {
 
 impl std::fmt::Debug for KernelDef {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("KernelDef").field("spec", &self.spec).finish_non_exhaustive()
+        f.debug_struct("KernelDef")
+            .field("spec", &self.spec)
+            .finish_non_exhaustive()
     }
 }
 
@@ -439,7 +461,11 @@ mod tests {
 
     fn conv_like_spec() -> KernelSpec {
         KernelSpec::new("conv2d")
-            .input(InputSpec::windowed("in", Dim2::new(5, 5), crate::geometry::Step2::ONE))
+            .input(InputSpec::windowed(
+                "in",
+                Dim2::new(5, 5),
+                crate::geometry::Step2::ONE,
+            ))
             .input(InputSpec::block("coeff", Dim2::new(5, 5)).replicated())
             .output(OutputSpec::stream("out"))
             .method(MethodSpec::on_data(

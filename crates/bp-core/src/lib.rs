@@ -35,7 +35,9 @@ pub mod token;
 
 pub use error::{BpError, Result};
 pub use geometry::{Dim2, Offset2, Step2};
-pub use graph::{AppGraph, Channel, ChannelId, DepEdge, GraphBuilder, Node, NodeId, PortRef, SourceInfo};
+pub use graph::{
+    AppGraph, Channel, ChannelId, DepEdge, GraphBuilder, Node, NodeId, PortRef, SourceInfo,
+};
 pub use item::{Item, Window};
 pub use kernel::{
     BehaviorFactory, Emitter, FireData, KernelBehavior, KernelDef, KernelSpec, NodeRole,

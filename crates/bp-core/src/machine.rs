@@ -5,7 +5,6 @@
 //! data access cost. The compiler sizes parallelism against these and the
 //! timing-accurate simulator charges them per firing.
 
-
 /// Description of one target many-core machine's processing elements.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MachineSpec {

@@ -187,7 +187,12 @@ mod tests {
         let s = MethodSpec::source("gen", vec!["out".into()], MethodCost::default());
         assert!(s.is_source());
 
-        let a = MethodSpec::on_all_data("sub", &["in0", "in1"], vec!["out".into()], MethodCost::default());
+        let a = MethodSpec::on_all_data(
+            "sub",
+            &["in0", "in1"],
+            vec!["out".into()],
+            MethodCost::default(),
+        );
         assert_eq!(a.trigger_inputs().collect::<Vec<_>>(), vec!["in0", "in1"]);
         assert!(a.is_data_method());
     }

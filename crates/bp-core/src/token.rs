@@ -6,7 +6,6 @@
 //! at which they can be generated, so the compiler can budget resources for
 //! handling them.
 
-
 /// A control token traveling in-order with the data on a channel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ControlToken {

@@ -35,7 +35,7 @@ fn non_tiling_strides_are_rejected() {
         let (w, h) = (rng.gen_range_u32(2, 8), rng.gen_range_u32(2, 8));
         let sx = rng.gen_range_u32(2, 5);
         let extra = rng.gen_range_u32(1, 4);
-        if extra % sx == 0 {
+        if extra.is_multiple_of(sx) {
             continue;
         }
         checked += 1;

@@ -22,7 +22,8 @@ struct BayerBehavior;
 /// window origin is always even.
 fn site(w: &Window, wx: u32, wy: u32) -> (f64, f64, f64) {
     let c = w.get(wx, wy);
-    let edges = (w.get(wx - 1, wy) + w.get(wx + 1, wy) + w.get(wx, wy - 1) + w.get(wx, wy + 1)) / 4.0;
+    let edges =
+        (w.get(wx - 1, wy) + w.get(wx + 1, wy) + w.get(wx, wy - 1) + w.get(wx, wy + 1)) / 4.0;
     let corners = (w.get(wx - 1, wy - 1)
         + w.get(wx + 1, wy - 1)
         + w.get(wx - 1, wy + 1)
@@ -31,10 +32,10 @@ fn site(w: &Window, wx: u32, wy: u32) -> (f64, f64, f64) {
     let horiz = (w.get(wx - 1, wy) + w.get(wx + 1, wy)) / 2.0;
     let vert = (w.get(wx, wy - 1) + w.get(wx, wy + 1)) / 2.0;
     match (wx % 2, wy % 2) {
-        (0, 0) => (c, edges, corners),  // red site (RGGB)
-        (1, 0) => (horiz, c, vert),     // green on red row
-        (0, 1) => (vert, c, horiz),     // green on blue row
-        _ => (corners, edges, c),       // blue site
+        (0, 0) => (c, edges, corners), // red site (RGGB)
+        (1, 0) => (horiz, c, vert),    // green on red row
+        (0, 1) => (vert, c, horiz),    // green on blue row
+        _ => (corners, edges, c),      // blue site
     }
 }
 

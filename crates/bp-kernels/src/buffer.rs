@@ -9,8 +9,7 @@
 //! paper prescribes.
 
 use bp_core::kernel::{
-    Emitter, FireData, KernelBehavior, KernelDef, KernelSpec, NodeRole, Parallelism,
-    ShapeTransform,
+    Emitter, FireData, KernelBehavior, KernelDef, KernelSpec, NodeRole, Parallelism, ShapeTransform,
 };
 use bp_core::method::{MethodCost, MethodSpec};
 use bp_core::port::{InputSpec, OutputSpec};
@@ -307,7 +306,12 @@ mod tests {
     #[test]
     fn strided_windows_skip_rows_and_cols() {
         // 2x2 windows, step 2 over 4x4: exactly 4 non-overlapping windows.
-        let def = buffer(Dim2::ONE, Dim2::new(2, 2), Step2::new(2, 2), Dim2::new(4, 4));
+        let def = buffer(
+            Dim2::ONE,
+            Dim2::new(2, 2),
+            Step2::new(2, 2),
+            Dim2::new(4, 4),
+        );
         let got = drive(&def, pixel_stream(4, 4));
         let windows: Vec<&Window> = got.iter().filter_map(|i| i.window()).collect();
         assert_eq!(windows.len(), 4);
@@ -335,7 +339,12 @@ mod tests {
     #[test]
     fn block_producer_reassembles_rows() {
         // Producer delivers 2x1 blocks; consumer wants 3x3 windows over 4x4.
-        let def = buffer(Dim2::new(2, 1), Dim2::new(3, 3), Step2::ONE, Dim2::new(4, 4));
+        let def = buffer(
+            Dim2::new(2, 1),
+            Dim2::new(3, 3),
+            Step2::ONE,
+            Dim2::new(4, 4),
+        );
         let mut items = Vec::new();
         for y in 0..4u32 {
             for bx in 0..2u32 {
@@ -355,10 +364,7 @@ mod tests {
     #[test]
     fn storage_matches_paper_sizing() {
         // The paper's [20x10] buffer: width-20 data into a 5x5 window.
-        assert_eq!(
-            buffer_storage_words(Dim2::ONE, Dim2::new(5, 5), 20),
-            200
-        );
+        assert_eq!(buffer_storage_words(Dim2::ONE, Dim2::new(5, 5), 20), 200);
         let def = buffer(Dim2::ONE, Dim2::new(5, 5), Step2::ONE, Dim2::new(20, 12));
         assert_eq!(def.spec.state_words, 200);
         assert_eq!(def.spec.role, NodeRole::Buffer);
@@ -368,7 +374,12 @@ mod tests {
     #[test]
     fn histogram_row_windows() {
         // 4x1 windows with step (4,1): one window per data row.
-        let def = buffer(Dim2::ONE, Dim2::new(4, 1), Step2::new(4, 1), Dim2::new(4, 3));
+        let def = buffer(
+            Dim2::ONE,
+            Dim2::new(4, 1),
+            Step2::new(4, 1),
+            Dim2::new(4, 3),
+        );
         let got = drive(&def, pixel_stream(4, 3));
         let windows: Vec<&Window> = got.iter().filter_map(|i| i.window()).collect();
         assert_eq!(windows.len(), 3);

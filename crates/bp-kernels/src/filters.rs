@@ -51,10 +51,10 @@ pub fn downsample(fx: u32, fy: u32) -> KernelDef {
     assert!(fx >= 1 && fy >= 1);
     let size = Dim2::new(fx, fy);
     let spec = KernelSpec::new("downsample")
-        .input(
-            InputSpec::block("in", size)
-                .with_offset(Offset2::new((fx as f64 - 1.0) / 2.0, (fy as f64 - 1.0) / 2.0)),
-        )
+        .input(InputSpec::block("in", size).with_offset(Offset2::new(
+            (fx as f64 - 1.0) / 2.0,
+            (fy as f64 - 1.0) / 2.0,
+        )))
         .output(OutputSpec::stream("out"))
         .method(MethodSpec::on_data(
             "runAvg",

@@ -205,7 +205,13 @@ mod tests {
         let def = histogram(4);
         let mut b = (def.factory)();
         assert!(!b.ready("count"), "bins must be configured first");
-        fire(&def, &mut b, "configureBins", 1, Item::Window(uniform_bins(4, 0.0, 4.0)));
+        fire(
+            &def,
+            &mut b,
+            "configureBins",
+            1,
+            Item::Window(uniform_bins(4, 0.0, 4.0)),
+        );
         assert!(b.ready("count"));
         for v in [0.5, 1.5, 1.7, 3.2, 9.9] {
             fire(&def, &mut b, "count", 0, Item::Window(Window::scalar(v)));
@@ -241,10 +247,22 @@ mod tests {
         let p2 = Window::from_vec(Dim2::new(3, 1), vec![0.0, 5.0, 1.0]);
         fire(&def, &mut b, "accumulate", 0, Item::Window(p1));
         fire(&def, &mut b, "accumulate", 0, Item::Window(p2));
-        let out = fire(&def, &mut b, "emit", 0, Item::Control(ControlToken::EndOfFrame));
+        let out = fire(
+            &def,
+            &mut b,
+            "emit",
+            0,
+            Item::Control(ControlToken::EndOfFrame),
+        );
         assert_eq!(out[0].1.window().unwrap().samples(), &[1.0, 5.0, 3.0]);
         // and resets
-        let out2 = fire(&def, &mut b, "emit", 0, Item::Control(ControlToken::EndOfFrame));
+        let out2 = fire(
+            &def,
+            &mut b,
+            "emit",
+            0,
+            Item::Control(ControlToken::EndOfFrame),
+        );
         assert_eq!(out2[0].1.window().unwrap().samples(), &[0.0, 0.0, 0.0]);
     }
 

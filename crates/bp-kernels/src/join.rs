@@ -7,8 +7,7 @@
 //! re-emits it once.
 
 use bp_core::kernel::{
-    Emitter, FireData, KernelBehavior, KernelDef, KernelSpec, NodeRole, Parallelism,
-    ShapeTransform,
+    Emitter, FireData, KernelBehavior, KernelDef, KernelSpec, NodeRole, Parallelism, ShapeTransform,
 };
 use bp_core::method::{MethodCost, MethodSpec, Trigger, TriggerOn};
 use bp_core::port::{InputSpec, OutputSpec};
@@ -167,7 +166,10 @@ impl KernelBehavior for JoinColumnsBehavior {
 /// analysis.
 pub fn join_columns(counts: Vec<u32>, grain: Dim2, data: Dim2) -> KernelDef {
     assert!(!counts.is_empty());
-    assert!(counts.iter().all(|c| *c > 0), "every column group must contribute windows");
+    assert!(
+        counts.iter().all(|c| *c > 0),
+        "every column group must contribute windows"
+    );
     let mut spec = join_spec("join_cols", counts.len(), grain);
     spec.shape = ShapeTransform::Fixed { data };
     KernelDef::new(spec, move || JoinColumnsBehavior {

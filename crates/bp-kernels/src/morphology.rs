@@ -21,11 +21,7 @@ impl KernelBehavior for MorphBehavior {
     fn fire(&mut self, _m: &str, d: &FireData<'_>, out: &mut Emitter<'_>) {
         let w = d.window("in");
         let v = match self.op {
-            Op::Erode => w
-                .samples()
-                .iter()
-                .copied()
-                .fold(f64::INFINITY, f64::min),
+            Op::Erode => w.samples().iter().copied().fold(f64::INFINITY, f64::min),
             Op::Dilate => w
                 .samples()
                 .iter()
@@ -52,12 +48,16 @@ fn morph_spec(kind: &str, w: u32, h: u32) -> KernelSpec {
 
 /// Grayscale erosion: minimum over a `w`×`h` window.
 pub fn erode(w: u32, h: u32) -> KernelDef {
-    KernelDef::new(morph_spec("erode", w, h), || MorphBehavior { op: Op::Erode })
+    KernelDef::new(morph_spec("erode", w, h), || MorphBehavior {
+        op: Op::Erode,
+    })
 }
 
 /// Grayscale dilation: maximum over a `w`×`h` window.
 pub fn dilate(w: u32, h: u32) -> KernelDef {
-    KernelDef::new(morph_spec("dilate", w, h), || MorphBehavior { op: Op::Dilate })
+    KernelDef::new(morph_spec("dilate", w, h), || MorphBehavior {
+        op: Op::Dilate,
+    })
 }
 
 #[cfg(test)]

@@ -213,9 +213,7 @@ pub fn pad(margins: Margins, mode: PadMode, data: Dim2) -> KernelDef {
         ))
         .with_state_words(match mode {
             PadMode::Zero => 4,
-            PadMode::Mirror => {
-                (margins.top.max(margins.bottom).max(1) as u64 + 1) * data.w as u64
-            }
+            PadMode::Mirror => (margins.top.max(margins.bottom).max(1) as u64 + 1) * data.w as u64,
         });
     KernelDef::new(spec, move || PadBehavior {
         m: margins,

@@ -3,8 +3,7 @@
 //! receive in full rather than a round-robin share.
 
 use bp_core::kernel::{
-    Emitter, FireData, KernelBehavior, KernelDef, KernelSpec, NodeRole, Parallelism,
-    ShapeTransform,
+    Emitter, FireData, KernelBehavior, KernelDef, KernelSpec, NodeRole, Parallelism, ShapeTransform,
 };
 use bp_core::method::{MethodCost, MethodSpec};
 use bp_core::port::{InputSpec, OutputSpec};

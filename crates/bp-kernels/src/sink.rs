@@ -132,7 +132,12 @@ pub fn sink() -> (KernelDef, SinkHandle) {
         .with_role(NodeRole::Sink)
         .with_parallelism(bp_core::Parallelism::Serial)
         .input(InputSpec::stream("in"))
-        .method(MethodSpec::on_data("take", "in", vec![], MethodCost::new(0, 0)))
+        .method(MethodSpec::on_data(
+            "take",
+            "in",
+            vec![],
+            MethodCost::new(0, 0),
+        ))
         .method(MethodSpec::on_token(
             "takeEol",
             "in",
@@ -147,9 +152,7 @@ pub fn sink() -> (KernelDef, SinkHandle) {
             vec![],
             MethodCost::new(0, 0),
         ));
-    let def = KernelDef::new(spec, move || SinkBehavior {
-        handle: h2.clone(),
-    });
+    let def = KernelDef::new(spec, move || SinkBehavior { handle: h2.clone() });
     (def, handle)
 }
 

@@ -4,9 +4,9 @@ use bp_core::kernel::{Emitter, FireData, KernelBehavior, KernelDef, KernelSpec, 
 use bp_core::method::{MethodCost, MethodSpec};
 use bp_core::port::OutputSpec;
 use bp_core::token::ControlToken;
-use bp_core::{Dim2, Window};
 #[cfg(test)]
 use bp_core::Item;
+use bp_core::{Dim2, Window};
 use std::sync::Arc;
 
 /// Pixel generator: `(frame index, x, y) -> sample`.
@@ -123,7 +123,10 @@ mod tests {
         assert_eq!(fires[0].len(), 1); // pixel only
         assert_eq!(fires[1].len(), 2); // pixel + EOL
         assert_eq!(fires[3].len(), 3); // pixel + EOL + EOF
-        assert!(matches!(fires[3][2].1, Item::Control(ControlToken::EndOfFrame)));
+        assert!(matches!(
+            fires[3][2].1,
+            Item::Control(ControlToken::EndOfFrame)
+        ));
     }
 
     #[test]

@@ -9,8 +9,7 @@
 //!   adjacent sub-buffers (the consumer window's halo) are sent to *both*.
 
 use bp_core::kernel::{
-    Emitter, FireData, KernelBehavior, KernelDef, KernelSpec, NodeRole, Parallelism,
-    ShapeTransform,
+    Emitter, FireData, KernelBehavior, KernelDef, KernelSpec, NodeRole, Parallelism, ShapeTransform,
 };
 use bp_core::method::{MethodCost, MethodSpec};
 use bp_core::port::{InputSpec, OutputSpec};
@@ -257,10 +256,7 @@ mod tests {
         items.push(Item::Control(ControlToken::EndOfFrame));
         let got = drive(&def, items);
         // Both windows go to out0 because the pointer reset at EOF.
-        let to0 = got
-            .iter()
-            .filter(|(p, i)| *p == 0 && i.is_window())
-            .count();
+        let to0 = got.iter().filter(|(p, i)| *p == 0 && i.is_window()).count();
         assert_eq!(to0, 2);
     }
 

@@ -113,7 +113,10 @@ mod tests {
         let def = motion_search(-1.0, 9);
         let w = Window::from_fn(Dim2::new(6, 6), |x, y| ((y * 6 + x) * (y + 2)) as f64);
         let (_best, cycles) = fire(&def, w);
-        assert_eq!(cycles, Some(SEARCH_BASE_CYCLES + 9 * SEARCH_POSITION_CYCLES));
+        assert_eq!(
+            cycles,
+            Some(SEARCH_BASE_CYCLES + 9 * SEARCH_POSITION_CYCLES)
+        );
     }
 
     #[test]
@@ -124,7 +127,10 @@ mod tests {
         let w = Window::from_fn(Dim2::new(6, 6), |x, y| (y * 7 + x * 3) as f64);
         let (best, cycles) = fire(&def, w);
         assert_eq!(best, 0.0);
-        assert_eq!(cycles, Some(SEARCH_BASE_CYCLES + 5 * SEARCH_POSITION_CYCLES));
+        assert_eq!(
+            cycles,
+            Some(SEARCH_BASE_CYCLES + 5 * SEARCH_POSITION_CYCLES)
+        );
     }
 
     #[test]

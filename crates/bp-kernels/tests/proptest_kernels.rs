@@ -86,7 +86,12 @@ fn buffer_matches_direct_sliding_windows() {
             continue;
         }
         checked += 1;
-        let def = k::buffer(Dim2::ONE, Dim2::new(cw, ch), Step2::new(sx, sy), Dim2::new(w, h));
+        let def = k::buffer(
+            Dim2::ONE,
+            Dim2::new(cw, ch),
+            Step2::new(sx, sy),
+            Dim2::new(w, h),
+        );
         let got = drive(&def, pixel_stream(&img));
         let windows: Vec<&Window> = got.iter().filter_map(|(_, i)| i.window()).collect();
         let iters_x = (w - cw) / sx + 1;
@@ -120,7 +125,10 @@ fn split_join_roundtrip_is_identity() {
         let kk = rng.gen_index(5) + 1;
         let split = k::split_rr(kk, Dim2::ONE);
         let join = k::join_rr(kk, Dim2::ONE);
-        let mut items: Vec<Item> = vals.iter().map(|v| Item::Window(Window::scalar(*v))).collect();
+        let mut items: Vec<Item> = vals
+            .iter()
+            .map(|v| Item::Window(Window::scalar(*v)))
+            .collect();
         items.push(Item::Control(ControlToken::EndOfFrame));
 
         // Run the split.
@@ -266,7 +274,10 @@ fn median_is_order_statistic() {
         let vals: Vec<f64> = (0..9).map(|_| rng.gen_range_f64(-1000.0, 1000.0)).collect();
         let def = k::median(3, 3);
         let mut b = (def.factory)();
-        let consumed = vec![(0usize, Item::Window(Window::from_vec(Dim2::new(3, 3), vals.clone())))];
+        let consumed = vec![(
+            0usize,
+            Item::Window(Window::from_vec(Dim2::new(3, 3), vals.clone())),
+        )];
         let data = FireData::new(&def.spec, &consumed);
         let mut out = Emitter::new(&def.spec);
         b.fire("runMedian", &data, &mut out);
@@ -291,7 +302,10 @@ fn convolution_is_linear() {
             let data = FireData::new(&def.spec, &consumed);
             let mut out = Emitter::new(&def.spec);
             b.fire("loadCoeff", &data, &mut out);
-            let consumed = vec![(0usize, Item::Window(Window::from_vec(Dim2::new(5, 5), input)))];
+            let consumed = vec![(
+                0usize,
+                Item::Window(Window::from_vec(Dim2::new(5, 5), input)),
+            )];
             let data = FireData::new(&def.spec, &consumed);
             let mut out = Emitter::new(&def.spec);
             b.fire("runConvolve", &data, &mut out);

@@ -123,7 +123,11 @@ mod tests {
             KernelSpec::new("source")
                 .with_role(NodeRole::Source)
                 .output(OutputSpec::stream("out"))
-                .method(MethodSpec::source("gen", vec!["out".into()], MethodCost::new(0, 0))),
+                .method(MethodSpec::source(
+                    "gen",
+                    vec!["out".into()],
+                    MethodCost::new(0, 0),
+                )),
             move || TestSource {
                 w,
                 h,
@@ -172,7 +176,12 @@ mod tests {
             KernelSpec::new("sink")
                 .with_role(NodeRole::Sink)
                 .input(InputSpec::stream("in"))
-                .method(MethodSpec::on_data("take", "in", vec![], MethodCost::new(0, 0)))
+                .method(MethodSpec::on_data(
+                    "take",
+                    "in",
+                    vec![],
+                    MethodCost::new(0, 0),
+                ))
                 .method(MethodSpec::on_token(
                     "eol",
                     "in",

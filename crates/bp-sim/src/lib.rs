@@ -24,7 +24,7 @@ pub mod stats;
 pub mod timed;
 
 pub use functional::FunctionalExecutor;
-pub use parallel::run_batch;
+pub use parallel::{run_batch, run_batch_with_workers};
 pub use runtime::{Action, Program, RtNode, SourceRt};
 pub use stats::{PeStats, RealTimeVerdict, SimReport};
 pub use timed::{SimConfig, TimedSimulator};

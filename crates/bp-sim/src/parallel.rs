@@ -43,14 +43,24 @@ where
     T: Send,
     F: FnOnce() -> T + Send,
 {
-    let n = jobs.len();
-    if n <= 1 {
-        return jobs.into_iter().map(|j| j()).collect();
-    }
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
+        .unwrap_or(4);
+    run_batch_with_workers(jobs, workers)
+}
+
+/// [`run_batch`] with an explicit worker count, for callers that want to
+/// oversubscribe (I/O-bound jobs) or pin concurrency in tests.
+pub fn run_batch_with_workers<T, F>(jobs: Vec<F>, workers: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    if n <= 1 || workers <= 1 {
+        return jobs.into_iter().map(|j| j()).collect();
+    }
+    let workers = workers.min(n);
 
     // Jobs are also kept in per-slot cells: a worker that claims index `i`
     // takes the closure out of slot `i` and writes the result into result
@@ -96,6 +106,33 @@ mod tests {
             .collect();
         let got = run_batch(jobs);
         assert_eq!(got, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    /// Job order must hold even when 8 OS threads drain the queue and
+    /// earlier jobs outlive later ones. The barrier in the first 8 jobs
+    /// forces all 8 workers to run concurrently (a smaller pool would
+    /// deadlock); the sleep skew makes later jobs finish first.
+    #[test]
+    fn job_order_holds_under_eight_threads() {
+        use std::sync::Barrier;
+        use std::time::Duration;
+
+        let barrier = Barrier::new(8);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send + '_>> = (0..24)
+            .map(|i| {
+                let b = &barrier;
+                let f: Box<dyn FnOnce() -> usize + Send + '_> = Box::new(move || {
+                    if i < 8 {
+                        b.wait();
+                    }
+                    std::thread::sleep(Duration::from_millis((24 - i) as u64 % 5));
+                    i * 3 + 1
+                });
+                f
+            })
+            .collect();
+        let got = run_batch_with_workers(jobs, 8);
+        assert_eq!(got, (0..24).map(|i| i * 3 + 1).collect::<Vec<_>>());
     }
 
     #[test]

@@ -4,24 +4,31 @@
 //! Both the untimed functional executor and the timing-accurate simulator
 //! drive the same [`Program`] structure, so functional results are identical
 //! between the two by construction.
+//!
+//! All name resolution happens once, at [`Program::instantiate`]: every
+//! method's trigger inputs, outputs, and cost are compiled into index
+//! tables ([`CompiledMethod`]), so the per-firing hot path — planning,
+//! consuming, firing, routing — touches no strings and, in steady state,
+//! performs no allocation (consume/emit buffers are recycled per node).
 
 use bp_core::graph::AppGraph;
 use bp_core::item::Item;
 use bp_core::kernel::{Emitter, FireData, KernelBehavior, KernelSpec, NodeRole};
 use bp_core::method::TriggerOn;
-use bp_core::token::ControlToken;
+use bp_core::token::{ControlToken, TokenKind};
 use bp_core::{BpError, Result};
 use std::collections::VecDeque;
 
-/// What a node can do next, given its input queue heads.
-#[derive(Debug, Clone, PartialEq)]
+/// What a node can do next, given its input queue heads. Actions are plain
+/// indices into the node's compiled method table, so planning allocates
+/// nothing and actions are freely copyable.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Action {
-    /// Fire a registered method, consuming one item from each trigger input.
+    /// Fire a registered method, consuming one item from each trigger input
+    /// (the ports are in the method's [`CompiledMethod::triggers`]).
     Fire {
-        /// Method index into the spec's method list.
+        /// Method index into the node's method/compiled tables.
         method: usize,
-        /// Input port indices to consume from (trigger order).
-        consume: Vec<usize>,
     },
     /// Pass an unhandled control token through: consume it from every input
     /// of a data method's trigger group and re-emit it once, in order, on
@@ -29,11 +36,69 @@ pub enum Action {
     Forward {
         /// The token being forwarded.
         token: ControlToken,
-        /// Input port indices to consume from.
-        consume: Vec<usize>,
-        /// Output port indices to emit to.
-        outputs: Vec<usize>,
+        /// The data method whose trigger group forwards the token.
+        method: usize,
     },
+}
+
+/// A method's firing plan with every port name resolved to an index,
+/// computed once at instantiation.
+#[derive(Debug, Clone)]
+pub struct CompiledMethod {
+    /// `(input port index, trigger condition)` per trigger.
+    pub triggers: Vec<(usize, TriggerOn)>,
+    /// Output port indices, in declaration order.
+    pub outputs: Vec<usize>,
+    /// Declared cycle cost.
+    pub cost_cycles: u64,
+    /// True for data methods (every trigger fires on data).
+    pub is_data: bool,
+    /// Token kinds some method of this kernel handles on one of this
+    /// method's trigger inputs — these suppress automatic forwarding.
+    pub handled_tokens: Vec<TokenKind>,
+}
+
+fn compile_methods(spec: &KernelSpec) -> Vec<CompiledMethod> {
+    spec.methods
+        .iter()
+        .map(|m| {
+            let triggers: Vec<(usize, TriggerOn)> = m
+                .triggers
+                .iter()
+                .map(|t| {
+                    (
+                        spec.input_index(&t.input).expect("validated trigger input"),
+                        t.on,
+                    )
+                })
+                .collect();
+            let outputs: Vec<usize> = m
+                .outputs
+                .iter()
+                .filter_map(|o| spec.output_index(o))
+                .collect();
+            let ins: Vec<usize> = triggers.iter().map(|&(p, _)| p).collect();
+            let mut handled_tokens = Vec::new();
+            for h in &spec.methods {
+                for t in &h.triggers {
+                    if let TriggerOn::Token(kind) = t.on {
+                        if ins.contains(&spec.input_index(&t.input).expect("validated input"))
+                            && !handled_tokens.contains(&kind)
+                        {
+                            handled_tokens.push(kind);
+                        }
+                    }
+                }
+            }
+            CompiledMethod {
+                triggers,
+                outputs,
+                cost_cycles: m.cost.cycles,
+                is_data: m.is_data_method(),
+                handled_tokens,
+            }
+        })
+        .collect()
 }
 
 /// A kernel instance at run time: spec, private behavior state, and one FIFO
@@ -43,15 +108,37 @@ pub struct RtNode {
     pub name: String,
     /// Static spec (cloned from the graph node).
     pub spec: KernelSpec,
+    /// Index-resolved firing plans, one per method.
+    pub compiled: Vec<CompiledMethod>,
     /// Executable state.
     pub behavior: Box<dyn KernelBehavior>,
     /// One queue per input port.
     pub queues: Vec<VecDeque<Item>>,
     /// Total firings, for reports.
     pub firings: u64,
+    /// Recycled consume buffer (steady-state firing allocates nothing).
+    consumed_buf: Vec<(usize, Item)>,
+    /// Recycled emit buffer, handed back by the routing code.
+    out_buf: Vec<(usize, Item)>,
 }
 
 impl RtNode {
+    fn new(name: String, spec: KernelSpec, behavior: Box<dyn KernelBehavior>) -> Self {
+        let compiled = compile_methods(&spec);
+        let queues = vec![VecDeque::new(); spec.inputs.len()];
+        Self {
+            name,
+            spec,
+            compiled,
+            behavior,
+            queues,
+            firings: 0,
+            consumed_buf: Vec::new(),
+            out_buf: Vec::new(),
+        }
+    }
+
+    #[inline]
     fn matches(&self, port: usize, on: TriggerOn) -> bool {
         match self.queues[port].front() {
             None => false,
@@ -70,39 +157,23 @@ impl RtNode {
     /// pass-through and the "same control token must arrive on both inputs"
     /// rule for multi-input kernels.
     pub fn plan(&self) -> Option<Action> {
-        for (mi, m) in self.spec.methods.iter().enumerate() {
-            if m.triggers.is_empty() {
+        for (mi, cm) in self.compiled.iter().enumerate() {
+            if cm.triggers.is_empty() {
                 continue; // source method; fired externally
             }
-            let all = m
-                .triggers
-                .iter()
-                .all(|t| self.matches(self.spec.input_index(&t.input).unwrap(), t.on));
-            if all && self.behavior.ready(&m.name) {
-                let consume = m
-                    .triggers
-                    .iter()
-                    .map(|t| self.spec.input_index(&t.input).unwrap())
-                    .collect();
-                return Some(Action::Fire {
-                    method: mi,
-                    consume,
-                });
+            let all = cm.triggers.iter().all(|&(p, on)| self.matches(p, on));
+            if all && self.behavior.ready(&self.spec.methods[mi].name) {
+                return Some(Action::Fire { method: mi });
             }
         }
         // Token forwarding over data-method trigger groups.
-        for m in &self.spec.methods {
-            if !m.is_data_method() {
+        for (mi, cm) in self.compiled.iter().enumerate() {
+            if !cm.is_data {
                 continue;
             }
-            let ins: Vec<usize> = m
-                .triggers
-                .iter()
-                .map(|t| self.spec.input_index(&t.input).unwrap())
-                .collect();
             let mut token: Option<ControlToken> = None;
             let mut all_tokens = true;
-            for &i in &ins {
+            for &(i, _) in &cm.triggers {
                 match self.queues[i].front() {
                     Some(Item::Control(t)) => match token {
                         None => token = Some(*t),
@@ -125,75 +196,104 @@ impl RtNode {
             // Suppress forwarding when any method handles this token on any
             // input of the group (it will fire via the rules above once its
             // own triggers align).
-            let handled = self.spec.methods.iter().any(|h| {
-                h.triggers.iter().any(|t| {
-                    t.on == TriggerOn::Token(tok.kind())
-                        && ins.contains(&self.spec.input_index(&t.input).unwrap())
-                })
-            });
-            if handled {
+            if cm.handled_tokens.contains(&tok.kind()) {
                 continue;
             }
-            let outputs = m
-                .outputs
-                .iter()
-                .filter_map(|o| self.spec.output_index(o))
-                .collect();
             return Some(Action::Forward {
                 token: tok,
-                consume: ins,
-                outputs,
+                method: mi,
             });
         }
         None
     }
 
     /// Execute an action, returning the emitted `(output port, item)` pairs.
-    pub fn execute(&mut self, action: &Action) -> Vec<(usize, Item)> {
+    pub fn execute(&mut self, action: Action) -> Vec<(usize, Item)> {
         self.execute_with_cost(action).0
     }
 
     /// Execute an action, returning the emitted items plus the behavior's
     /// reported actual cycle count (for data-dependent-cost kernels; `None`
-    /// means the declared method cost applies).
-    pub fn execute_with_cost(&mut self, action: &Action) -> (Vec<(usize, Item)>, Option<u64>) {
+    /// means the declared method cost applies). The returned vector is the
+    /// node's recycled emit buffer — hand it back via
+    /// [`recycle_out_buf`](Self::recycle_out_buf) after routing.
+    pub fn execute_with_cost(&mut self, action: Action) -> (Vec<(usize, Item)>, Option<u64>) {
         self.firings += 1;
         match action {
-            Action::Fire { method, consume } => {
-                let consumed: Vec<(usize, Item)> = consume
-                    .iter()
-                    .map(|&p| {
-                        (
-                            p,
-                            self.queues[p]
-                                .pop_front()
-                                .expect("planned input disappeared"),
-                        )
-                    })
-                    .collect();
-                let mname = self.spec.methods[*method].name.clone();
-                let data = FireData::new(&self.spec, &consumed);
-                let mut out = Emitter::new(&self.spec);
-                self.behavior.fire(&mname, &data, &mut out);
-                out.into_parts()
-            }
-            Action::Forward {
-                token,
-                consume,
-                outputs,
-            } => {
-                for &p in consume {
-                    let it = self.queues[p].pop_front().expect("planned token disappeared");
-                    debug_assert!(matches!(it, Item::Control(t) if t == *token));
+            Action::Fire { method } => {
+                let mut consumed = std::mem::take(&mut self.consumed_buf);
+                let out_storage = std::mem::take(&mut self.out_buf);
+                consumed.clear();
+                {
+                    let RtNode {
+                        compiled, queues, ..
+                    } = self;
+                    for &(p, _) in &compiled[method].triggers {
+                        consumed
+                            .push((p, queues[p].pop_front().expect("planned input disappeared")));
+                    }
                 }
-                (
-                    outputs
-                        .iter()
-                        .map(|&o| (o, Item::Control(*token)))
-                        .collect(),
-                    None,
-                )
+                let RtNode {
+                    ref spec,
+                    ref mut behavior,
+                    ..
+                } = *self;
+                let mname: &str = &spec.methods[method].name;
+                let data = FireData::new(spec, &consumed);
+                let mut out = Emitter::with_buffer(spec, out_storage);
+                behavior.fire(mname, &data, &mut out);
+                let parts = out.into_parts();
+                consumed.clear();
+                self.consumed_buf = consumed;
+                parts
             }
+            Action::Forward { token, method } => {
+                {
+                    let RtNode {
+                        compiled, queues, ..
+                    } = self;
+                    for &(p, _) in &compiled[method].triggers {
+                        let it = queues[p].pop_front().expect("planned token disappeared");
+                        debug_assert!(matches!(it, Item::Control(t) if t == token));
+                    }
+                }
+                let mut out = std::mem::take(&mut self.out_buf);
+                out.clear();
+                out.extend(
+                    self.compiled[method]
+                        .outputs
+                        .iter()
+                        .map(|&o| (o, Item::Control(token))),
+                );
+                (out, None)
+            }
+        }
+    }
+
+    /// Fire a trigger-less (source/const/init) method, returning the emitted
+    /// items in the node's recycled emit buffer.
+    pub fn fire_untriggered(&mut self, method: usize) -> Vec<(usize, Item)> {
+        self.firings += 1;
+        let out_storage = std::mem::take(&mut self.out_buf);
+        let RtNode {
+            ref spec,
+            ref mut behavior,
+            ..
+        } = *self;
+        let mname: &str = &spec.methods[method].name;
+        let consumed: [(usize, Item); 0] = [];
+        let data = FireData::new(spec, &consumed);
+        let mut out = Emitter::with_buffer(spec, out_storage);
+        behavior.fire(mname, &data, &mut out);
+        out.into_items()
+    }
+
+    /// Return a drained emit buffer to this node for reuse by its next
+    /// firing.
+    pub fn recycle_out_buf(&mut self, mut buf: Vec<(usize, Item)>) {
+        buf.clear();
+        if buf.capacity() > self.out_buf.capacity() {
+            self.out_buf = buf;
         }
     }
 
@@ -229,22 +329,16 @@ pub struct Program {
 }
 
 impl Program {
-    /// Instantiate a validated graph: create behaviors and routing tables.
+    /// Instantiate a validated graph: create behaviors, compile method
+    /// tables, and build routing tables.
     pub fn instantiate(graph: &AppGraph) -> Result<Self> {
         graph.validate()?;
         let mut nodes = Vec::with_capacity(graph.node_count());
         let mut routes = Vec::with_capacity(graph.node_count());
         for (_, n) in graph.nodes() {
             let spec = n.spec().clone();
-            let queues = vec![VecDeque::new(); spec.inputs.len()];
             routes.push(vec![Vec::new(); spec.outputs.len()]);
-            nodes.push(RtNode {
-                name: n.name.clone(),
-                spec,
-                behavior: (n.def.factory)(),
-                queues,
-                firings: 0,
-            });
+            nodes.push(RtNode::new(n.name.clone(), spec, (n.def.factory)()));
         }
         for (_, c) in graph.channels() {
             routes[c.src.node.0][c.src.port].push((c.dst.node.0, c.dst.port));
@@ -274,10 +368,7 @@ impl Program {
                 }
                 NodeRole::Const => {
                     let method = src_method.ok_or_else(|| {
-                        BpError::Validation(format!(
-                            "const node '{}' has no source method",
-                            n.name
-                        ))
+                        BpError::Validation(format!("const node '{}' has no source method", n.name))
                     })?;
                     consts.push((id.0, method));
                 }
@@ -299,36 +390,32 @@ impl Program {
         })
     }
 
-    /// Deliver emitted items to the successor queues (fan-out duplicates).
-    pub fn route(&mut self, from: usize, emitted: Vec<(usize, Item)>) {
-        for (port, item) in emitted {
-            let dests = &self.routes[from][port];
-            match dests.len() {
+    /// Deliver emitted items to the successor queues (fan-out clones share
+    /// window storage). The drained buffer is recycled to the firing node.
+    pub fn route(&mut self, from: usize, mut emitted: Vec<(usize, Item)>) {
+        for (port, item) in emitted.drain(..) {
+            let n_dests = self.routes[from][port].len();
+            match n_dests {
                 0 => {} // unconnected output: items are dropped
                 1 => {
-                    let (dn, dp) = dests[0];
+                    let (dn, dp) = self.routes[from][port][0];
                     self.nodes[dn].queues[dp].push_back(item);
                 }
                 _ => {
-                    let dests = dests.clone();
-                    for (dn, dp) in dests {
+                    for di in 0..n_dests {
+                        let (dn, dp) = self.routes[from][port][di];
                         self.nodes[dn].queues[dp].push_back(item.clone());
                     }
                 }
             }
         }
+        self.nodes[from].recycle_out_buf(emitted);
     }
 
-    /// Fire a node's externally-driven (source) method once.
+    /// Fire a node's externally-driven (source) method once and route the
+    /// emissions.
     pub fn fire_source_method(&mut self, node: usize, method: usize) {
-        let n = &mut self.nodes[node];
-        let mname = n.spec.methods[method].name.clone();
-        let consumed: Vec<(usize, Item)> = Vec::new();
-        let data = FireData::new(&n.spec, &consumed);
-        let mut out = Emitter::new(&n.spec);
-        n.behavior.fire(&mname, &data, &mut out);
-        n.firings += 1;
-        let emitted = out.into_items();
+        let emitted = self.nodes[node].fire_untriggered(method);
         self.route(node, emitted);
     }
 
@@ -337,7 +424,7 @@ impl Program {
         let Some(action) = self.nodes[node].plan() else {
             return false;
         };
-        let emitted = self.nodes[node].execute(&action);
+        let emitted = self.nodes[node].execute(action);
         self.route(node, emitted);
         true
     }

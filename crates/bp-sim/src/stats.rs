@@ -1,7 +1,6 @@
 //! Simulation statistics: per-PE utilization broken down into run/read/write
 //! time (as in the paper's Fig. 13) and real-time verdicts.
 
-
 /// Busy-time accounting for one processing element, in seconds.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct PeStats {

@@ -11,6 +11,15 @@
 //! declared rate; an injection that finds a full queue is recorded as a
 //! real-time violation. This is the mechanism used to "simulate to verify
 //! that the application meets its real-time constraints".
+//!
+//! Scheduling uses a per-PE *ready set*: a node is marked dirty when an
+//! item lands on one of its queues or when it fires, and cleaned when a
+//! scan finds it unable to progress. A node whose inputs have not changed
+//! cannot have gained a plan, so clean nodes are skipped without
+//! re-planning and a PE whose dirty count is zero is dispatched in O(1).
+//! The round-robin pointer advances exactly as in a full scan, so the
+//! schedule — and therefore every simulation result — is bit-identical to
+//! the exhaustive version.
 
 use crate::runtime::{Action, Program};
 use crate::stats::{PeStats, RealTimeVerdict, SimReport};
@@ -128,6 +137,12 @@ pub struct TimedSimulator {
     node_max_queue: Vec<usize>,
     required_rate_hz: f64,
     node_roles: Vec<NodeRole>,
+    /// Ready-set state: `dirty[node]` is true when the node's inputs or
+    /// private state changed since its last failed plan; a clean node is
+    /// guaranteed unable to fire and is skipped without re-planning.
+    dirty: Vec<bool>,
+    /// Number of dirty residents per PE; zero means the PE has no work.
+    dirty_count: Vec<usize>,
 }
 
 impl TimedSimulator {
@@ -148,7 +163,7 @@ impl TimedSimulator {
                 upstream[c.dst.node.0].push(c.src.node.0);
             }
         }
-        let node_roles = program.nodes.iter().map(|rt| rt.spec.role).collect();
+        let node_roles: Vec<NodeRole> = program.nodes.iter().map(|rt| rt.spec.role).collect();
         let required_rate_hz = graph
             .sources()
             .iter()
@@ -159,6 +174,8 @@ impl TimedSimulator {
             pe_of_node: mapping.pe_of_node.clone(),
             rr: vec![0; residents.len()],
             pe_inflight: (0..residents.len()).map(|_| None).collect(),
+            dirty: vec![false; n],
+            dirty_count: vec![0; residents.len()],
             residents,
             upstream,
             stats: vec![PeStats::default(); mapping.num_pes],
@@ -189,21 +206,33 @@ impl TimedSimulator {
         });
     }
 
+    /// Mark a node as possibly able to fire. Sources are paced externally
+    /// and never enter the ready set.
+    #[inline]
+    fn mark_dirty(&mut self, node: usize) {
+        if !self.dirty[node] && self.node_roles[node] != NodeRole::Source {
+            self.dirty[node] = true;
+            self.dirty_count[self.pe_of_node[node]] += 1;
+        }
+    }
+
+    #[inline]
+    fn clear_dirty(&mut self, node: usize) {
+        if self.dirty[node] {
+            self.dirty[node] = false;
+            self.dirty_count[self.pe_of_node[node]] -= 1;
+        }
+    }
+
     /// Run the simulation to completion and report.
     pub fn run(mut self) -> Result<SimReport> {
         // Constants fire at t = 0, before any source sample.
         let consts = self.program.consts.clone();
         for (node, method) in consts {
-            let emitted = {
-                let n = &mut self.program.nodes[node];
-                let mname = n.spec.methods[method].name.clone();
-                let consumed: Vec<(usize, Item)> = Vec::new();
-                let data = bp_core::kernel::FireData::new(&n.spec, &consumed);
-                let mut out = bp_core::kernel::Emitter::new(&n.spec);
-                n.behavior.fire(&mname, &data, &mut out);
-                n.firings += 1;
-                out.into_items()
-            };
+            let emitted = self.program.nodes[node].fire_untriggered(method);
+            // The firing may change the node's private state (e.g. a
+            // feedback primer becoming ready), so re-plan it.
+            self.mark_dirty(node);
             let touched = self.route_timed(node, emitted);
             self.dispatch_wave(touched);
         }
@@ -225,8 +254,9 @@ impl TimedSimulator {
         // all PEs idle that is a genuine capacity deadlock. Residual items
         // with no fireable plan are legitimate (e.g. the final frame
         // circulating in a feedback loop) and are reported, not fatal.
-        let deadlocked = (0..self.program.nodes.len())
-            .any(|i| self.node_roles[i] != NodeRole::Source && self.program.nodes[i].plan().is_some());
+        let deadlocked = (0..self.program.nodes.len()).any(|i| {
+            self.node_roles[i] != NodeRole::Source && self.program.nodes[i].plan().is_some()
+        });
         if deadlocked {
             return Err(BpError::Simulation(format!(
                 "capacity deadlock with {} items queued:\n{}",
@@ -342,16 +372,7 @@ impl TimedSimulator {
         if full {
             self.violations += 1;
         }
-        let emitted = {
-            let n = &mut self.program.nodes[s.node];
-            let mname = n.spec.methods[s.method].name.clone();
-            let consumed: Vec<(usize, Item)> = Vec::new();
-            let data = bp_core::kernel::FireData::new(&n.spec, &consumed);
-            let mut out = bp_core::kernel::Emitter::new(&n.spec);
-            n.behavior.fire(&mname, &data, &mut out);
-            n.firings += 1;
-            out.into_items()
-        };
+        let emitted = self.program.nodes[s.node].fire_untriggered(s.method);
         let touched = self.route_timed(s.node, emitted);
         self.dispatch_wave(touched);
 
@@ -365,7 +386,9 @@ impl TimedSimulator {
     }
 
     fn handle_pe_done(&mut self, pe: usize) {
-        let inflight = self.pe_inflight[pe].take().expect("PeDone without inflight");
+        let inflight = self.pe_inflight[pe]
+            .take()
+            .expect("PeDone without inflight");
         self.stats[pe].run += inflight.run_s;
         self.stats[pe].read += inflight.read_s;
         self.stats[pe].write += inflight.write_s;
@@ -375,16 +398,18 @@ impl TimedSimulator {
         self.dispatch_wave(touched);
     }
 
-    /// Deliver items, recording sink EOF arrival times. Returns the PEs that
-    /// may now have new work.
-    fn route_timed(&mut self, from: usize, emitted: Vec<(usize, Item)>) -> Vec<usize> {
+    /// Deliver items, recording sink EOF arrival times and marking the
+    /// receiving nodes dirty. Returns the PEs that may now have new work;
+    /// the drained buffer is recycled to the emitting node.
+    fn route_timed(&mut self, from: usize, mut emitted: Vec<(usize, Item)>) -> Vec<usize> {
         let mut touched = Vec::new();
-        for (port, item) in emitted {
+        for (port, item) in emitted.drain(..) {
             if let Item::Control(ControlToken::Custom(_)) = item {
                 self.custom_token_emissions[from] += 1;
             }
-            let dests = self.program.routes[from][port].clone();
-            for (dn, dp) in dests.iter().copied() {
+            let n_dests = self.program.routes[from][port].len();
+            for di in 0..n_dests {
+                let (dn, dp) = self.program.routes[from][port][di];
                 if self.node_roles[dn] == NodeRole::Sink {
                     if let Item::Control(ControlToken::EndOfFrame) = item {
                         self.sink_eof_times.push(self.now);
@@ -395,12 +420,14 @@ impl TimedSimulator {
                 if depth > self.node_max_queue[dn] {
                     self.node_max_queue[dn] = depth;
                 }
+                self.mark_dirty(dn);
                 let pe = self.pe_of_node[dn];
                 if !touched.contains(&pe) {
                     touched.push(pe);
                 }
             }
         }
+        self.program.nodes[from].recycle_out_buf(emitted);
         touched
     }
 
@@ -412,8 +439,8 @@ impl TimedSimulator {
                 continue;
             }
             if let Some(node) = self.try_start(pe) {
-                for &up in &self.upstream[node].clone() {
-                    let up_pe = self.pe_of_node[up];
+                for i in 0..self.upstream[node].len() {
+                    let up_pe = self.pe_of_node[self.upstream[node][i]];
                     if !worklist.contains(&up_pe) {
                         worklist.push(up_pe);
                     }
@@ -424,43 +451,51 @@ impl TimedSimulator {
     }
 
     /// Try to begin one firing on `pe`; returns the node that fired.
+    ///
+    /// Residents are scanned in round-robin order, skipping clean nodes
+    /// (their inputs have not changed since they last failed to plan, so
+    /// they still cannot fire). A dirty node that plans `None` is cleaned;
+    /// one that is only blocked on downstream space stays dirty, because
+    /// space freeing re-triggers a dispatch of this PE. The round-robin
+    /// pointer advances exactly as in an exhaustive scan.
     fn try_start(&mut self, pe: usize) -> Option<usize> {
-        let residents = &self.residents[pe];
-        if residents.is_empty() {
+        if self.dirty_count[pe] == 0 {
             return None;
         }
-        let len = residents.len();
+        let len = self.residents[pe].len();
         for k in 0..len {
             let idx = (self.rr[pe] + k) % len;
-            let node = residents[idx];
-            if self.node_roles[node] == NodeRole::Source {
-                continue; // paced externally
+            let node = self.residents[pe][idx];
+            if !self.dirty[node] {
+                continue;
             }
             let Some(action) = self.program.nodes[node].plan() else {
+                self.clear_dirty(node);
                 continue;
             };
-            if !self.downstream_space(node, &action) {
+            if !self.downstream_space(node, action) {
                 continue;
             }
             // Compute read words from the items about to be consumed.
-            let read_words: u64 = match &action {
-                Action::Fire { consume, .. } => consume
-                    .iter()
-                    .map(|&p| {
-                        self.program.nodes[node].queues[p]
-                            .front()
-                            .map_or(0, |i| i.words())
-                    })
-                    .sum(),
+            let read_words: u64 = match action {
+                Action::Fire { method } => {
+                    let n = &self.program.nodes[node];
+                    n.compiled[method]
+                        .triggers
+                        .iter()
+                        .map(|&(p, _)| n.queues[p].front().map_or(0, |i| i.words()))
+                        .sum()
+                }
                 Action::Forward { .. } => 0,
             };
-            let declared: u64 = match &action {
-                Action::Fire { method, .. } => {
-                    self.program.nodes[node].spec.methods[*method].cost.cycles
-                }
+            let declared: u64 = match action {
+                Action::Fire { method } => self.program.nodes[node].compiled[method].cost_cycles,
                 Action::Forward { .. } => 1,
             };
-            let (emitted, actual) = self.program.nodes[node].execute_with_cost(&action);
+            let (emitted, actual) = self.program.nodes[node].execute_with_cost(action);
+            // Firing consumed inputs and may have changed private state;
+            // the node must be re-planned before it can be skipped again.
+            self.mark_dirty(node);
             // Data-dependent-cost kernels report their actual work; running
             // past the declared budget is a runtime resource exception
             // (§VII) recorded per node.
@@ -491,19 +526,12 @@ impl TimedSimulator {
 
     /// True when every destination queue of the action's outputs has room
     /// for this firing's worst-case emissions (2 items of slack).
-    fn downstream_space(&self, node: usize, action: &Action) -> bool {
-        let outputs: Vec<usize> = match action {
-            Action::Fire { method, .. } => {
-                let spec = &self.program.nodes[node].spec;
-                spec.methods[*method]
-                    .outputs
-                    .iter()
-                    .filter_map(|o| spec.output_index(o))
-                    .collect()
-            }
-            Action::Forward { outputs, .. } => outputs.clone(),
+    fn downstream_space(&self, node: usize, action: Action) -> bool {
+        let method = match action {
+            Action::Fire { method } | Action::Forward { method, .. } => method,
         };
-        for port in outputs {
+        let outputs = &self.program.nodes[node].compiled[method].outputs;
+        for &port in outputs {
             for &(dn, dp) in &self.program.routes[node][port] {
                 if self.program.nodes[dn].queues[dp].len() + 2 > self.config.channel_capacity {
                     return false;

@@ -97,7 +97,11 @@ fn lying_source(dim: Dim2, declared_rate: f64) -> KernelDef {
         KernelSpec::new("lying_source")
             .with_role(NodeRole::Source)
             .output(OutputSpec::stream("out"))
-            .method(MethodSpec::source("generate", vec!["out".into()], MethodCost::new(0, 0)))
+            .method(MethodSpec::source(
+                "generate",
+                vec!["out".into()],
+                MethodCost::new(0, 0),
+            ))
             .custom_token(CustomTokenDecl {
                 id: 3,
                 name: "BURST".into(),
@@ -126,7 +130,10 @@ fn token_rate_bound_violations_are_reported() {
     assert_eq!(report.token_rate_violations.len(), 1);
     let (name, observed, declared) = &report.token_rate_violations[0];
     assert_eq!(name, "Input");
-    assert!(*observed > *declared * 10.0, "observed {observed} declared {declared}");
+    assert!(
+        *observed > *declared * 10.0,
+        "observed {observed} declared {declared}"
+    );
 }
 
 #[test]

@@ -41,7 +41,11 @@ fn flagging_source(dim: Dim2) -> KernelDef {
         KernelSpec::new("flagging_source")
             .with_role(NodeRole::Source)
             .output(OutputSpec::stream("out"))
-            .method(MethodSpec::source("generate", vec!["out".into()], MethodCost::new(0, 0)))
+            .method(MethodSpec::source(
+                "generate",
+                vec!["out".into()],
+                MethodCost::new(0, 0),
+            ))
             .custom_token(CustomTokenDecl {
                 id: 7,
                 name: "FLAG".into(),

@@ -100,14 +100,10 @@ fn utilization_accounting_matches_hand_calculation() {
     let (g, _h) = pipeline(100, dim, 10.0);
     let mapping = Mapping::one_to_one(g.node_count());
     let machine = MachineSpec::default_eval();
-    let report = TimedSimulator::new(
-        &g,
-        &mapping,
-        SimConfig::new(1).with_machine(machine),
-    )
-    .unwrap()
-    .run()
-    .unwrap();
+    let report = TimedSimulator::new(&g, &mapping, SimConfig::new(1).with_machine(machine))
+        .unwrap()
+        .run()
+        .unwrap();
     let pass = g.find_node("Pass").unwrap();
     let pe = mapping.pe_of_node[pass.0];
     let stats = report.pe_stats[pe];
@@ -167,7 +163,9 @@ fn mapping_size_mismatch_is_rejected() {
     let dim = Dim2::new(2, 2);
     let (g, _h) = pipeline(1, dim, 10.0);
     let bad = Mapping::one_to_one(g.node_count() + 1);
-    let err = TimedSimulator::new(&g, &bad, SimConfig::new(1)).err().unwrap();
+    let err = TimedSimulator::new(&g, &bad, SimConfig::new(1))
+        .err()
+        .unwrap();
     assert!(err.to_string().contains("mapping"));
 }
 

@@ -15,7 +15,7 @@ use block_parallel::prelude::*;
 use bp_core::method::{MethodCost, MethodSpec};
 use bp_core::port::{InputSpec, OutputSpec};
 use bp_core::token::CustomTokenDecl;
-use bp_core::{FireData, Emitter};
+use bp_core::{Emitter, FireData};
 
 /// Token id for the over-exposure flag.
 const OVEREXPOSED: u16 = 1;
@@ -172,8 +172,11 @@ fn main() {
     // fires each frame and the gain halves: 0.5, 0.25, 0.125.
     println!("per-frame first sample (gain visible in the scaling):");
     for (f, frame) in result.frames().iter().enumerate() {
-        println!("  frame {f}: first={:>8.3} mean={:>8.3}", frame[0],
-            frame.iter().sum::<f64>() / frame.len() as f64);
+        println!(
+            "  frame {f}: first={:>8.3} mean={:>8.3}",
+            frame[0],
+            frame.iter().sum::<f64>() / frame.len() as f64
+        );
     }
     let frames = result.frames();
     assert_eq!(frames[0][0], 0.0);

@@ -48,7 +48,10 @@ fn main() {
             -128.0,
             128.0,
         );
-        assert_eq!(counts, &expected, "frame {f} diverged from the golden model");
+        assert_eq!(
+            counts, &expected,
+            "frame {f} diverged from the golden model"
+        );
         let peak_bin = counts
             .iter()
             .enumerate()
@@ -56,9 +59,7 @@ fn main() {
             .map(|(i, _)| i)
             .unwrap();
         let total: f64 = counts.iter().sum();
-        println!(
-            "frame {f}: {total:.0} samples, peak bin {peak_bin} — matches golden model"
-        );
+        println!("frame {f}: {total:.0} samples, peak bin {peak_bin} — matches golden model");
     }
     assert!(report.verdict.met);
     println!("\nall {frames} frames bit-identical to the reference implementation.");

@@ -55,7 +55,9 @@ fn run(budget_positions: u64) -> (u64, bool, Vec<f64>) {
 }
 
 fn main() {
-    println!("motion search: base {SEARCH_BASE_CYCLES} cycles + {SEARCH_POSITION_CYCLES}/candidate\n");
+    println!(
+        "motion search: base {SEARCH_BASE_CYCLES} cycles + {SEARCH_POSITION_CYCLES}/candidate\n"
+    );
 
     let (overruns_worst, met_worst, out_worst) = run(9);
     println!(

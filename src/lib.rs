@@ -49,10 +49,10 @@ pub mod prelude {
         MachineSpec, Mapping, NodeRole, Offset2, Parallelism, Step2, TokenKind, Window,
     };
     pub use bp_kernels::{
-        absdiff, add, bayer_demosaic, box_coefficients, buffer, conv2d, const_source, downsample,
+        absdiff, add, bayer_demosaic, box_coefficients, buffer, const_source, conv2d, downsample,
         feedback_frame, frame_source, histogram, histogram_merge, inset, median, pad,
-        pattern_source, replicate, scale, sink, sobel, split_rr, subtract, threshold,
-        uniform_bins, Margins, PadMode, SinkHandle,
+        pattern_source, replicate, scale, sink, sobel, split_rr, subtract, threshold, uniform_bins,
+        Margins, PadMode, SinkHandle,
     };
     pub use bp_sim::{FunctionalExecutor, SimConfig, SimReport, TimedSimulator};
 }

@@ -54,7 +54,10 @@ fn pipeline_dep_edges_cap_downstream_stages() {
     let pa = c.report.parallelize.plan_for("A").unwrap();
     let pb = c.report.parallelize.plan_for("B").unwrap();
     assert!(pa.granted >= 2);
-    assert!(pb.desired >= pa.granted, "B wanted at least as many: {pb:?}");
+    assert!(
+        pb.desired >= pa.granted,
+        "B wanted at least as many: {pb:?}"
+    );
     assert_eq!(
         pb.granted, pa.granted,
         "dep edge must cap B to A's replica count"
@@ -141,7 +144,10 @@ fn dot_export_reflects_roles_and_replicated_edges() {
     let app = apps::fig1b(presets::SMALL, presets::FAST);
     let c = compile(&app.graph, &CompileOptions::default()).unwrap();
     let dot = to_dot(&c.graph);
-    assert!(dot.contains("parallelogram"), "buffers drawn as parallelograms");
+    assert!(
+        dot.contains("parallelogram"),
+        "buffers drawn as parallelograms"
+    );
     assert!(dot.contains("diamond"), "split/join drawn as diamonds");
     assert!(dot.contains("invhouse"), "inset drawn as inverted house");
     assert!(dot.contains("style=dashed"), "replicated inputs dashed");

@@ -1,0 +1,136 @@
+//! Determinism regression tests for the simulator hot path.
+//!
+//! The zero-copy optimizations (shared window payloads, interned method
+//! tables, ready-set scheduling) must not change observable behavior by a
+//! single bit. These tests pin the functional output of reference
+//! pipelines to golden digests, check that repeated runs and the timed
+//! simulator reproduce the exact same item stream (windows *and* control
+//! tokens), and that the timed schedule itself is stable.
+
+use bp_apps::{apps, App, SLOW, SMALL};
+use bp_compiler::{compile, CompileOptions};
+use bp_core::Item;
+use bp_sim::{FunctionalExecutor, SimConfig, TimedSimulator};
+
+const FRAMES: u32 = 2;
+
+/// FNV-1a over the raw bit patterns of the samples: any single-bit change
+/// anywhere in the output stream changes the digest.
+fn digest(samples: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for s in samples {
+        for b in s.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// Compile and run `app` functionally; return the first sink's item stream.
+fn run_functional(app: &App) -> Vec<Item> {
+    let compiled = compile(&app.graph, &CompileOptions::default()).expect("compile");
+    let mut ex = FunctionalExecutor::new(&compiled.graph).expect("instantiate");
+    ex.run_frames(FRAMES).expect("run");
+    assert_eq!(ex.residual_items(), 0);
+    app.sinks[0].1.items()
+}
+
+/// Compile and run `app` on the timed simulator; return the first sink's
+/// item stream.
+fn run_timed(app: &App) -> Vec<Item> {
+    let compiled = compile(&app.graph, &CompileOptions::default()).expect("compile");
+    let config = SimConfig::new(FRAMES);
+    TimedSimulator::new(&compiled.graph, &compiled.mapping, config)
+        .expect("instantiate")
+        .run()
+        .expect("run");
+    app.sinks[0].1.items()
+}
+
+fn samples_of(items: &[Item]) -> Vec<f64> {
+    items
+        .iter()
+        .filter_map(|i| i.window().map(|w| w.samples().to_vec()))
+        .flatten()
+        .collect()
+}
+
+/// Golden digests of functional output at 20x12 @ 50 Hz for two frames.
+/// Recorded before the zero-copy rework; any future change to window
+/// storage, scheduling, or routing must reproduce them exactly.
+/// fig1b ends in a 32-bin histogram (counts); edge_detect emits a dense
+/// thresholded image, exercising multi-sample window payloads.
+const GOLDEN: &[(&str, u64, usize, usize)] = &[
+    // (app, sample digest, sample count, control-token count)
+    ("fig1b", 0x4c09dd9a8495acaa, 64, 2),
+    ("edge_detect", 0x5a178332b5193325, 256, 18),
+];
+
+fn build(name: &str) -> App {
+    match name {
+        "fig1b" => apps::fig1b(SMALL, SLOW),
+        "edge_detect" => apps::edge_detect(SMALL, SLOW, 0.5),
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn functional_output_matches_golden_digest() {
+    for &(name, want_digest, want_count, want_tokens) in GOLDEN {
+        let items = run_functional(&build(name));
+        let samples = samples_of(&items);
+        let tokens = items.iter().filter(|i| !i.is_window()).count();
+        assert_eq!(samples.len(), want_count, "{name}: sample count");
+        assert_eq!(tokens, want_tokens, "{name}: token count");
+        assert_eq!(
+            digest(&samples),
+            want_digest,
+            "{name}: output digest changed — functional behavior is no longer bit-identical"
+        );
+    }
+}
+
+/// Two functional runs of the same app produce identical item streams,
+/// tokens included.
+#[test]
+fn repeated_functional_runs_are_bit_identical() {
+    for &(name, ..) in GOLDEN {
+        let a = run_functional(&build(name));
+        let b = run_functional(&build(name));
+        assert_eq!(a, b, "{name}: functional run not reproducible");
+    }
+}
+
+/// The timed simulator delivers the exact same items to the sink as the
+/// untimed functional executor: timing annotations reorder *when* kernels
+/// fire, never *what* they compute.
+#[test]
+fn timed_matches_functional_bitwise() {
+    for &(name, ..) in GOLDEN {
+        let f = run_functional(&build(name));
+        let t = run_timed(&build(name));
+        assert_eq!(f, t, "{name}: timed and functional outputs diverge");
+    }
+}
+
+/// The timed schedule itself is stable: firing counts, simulated time, and
+/// frame latencies reproduce bit-for-bit across runs.
+#[test]
+fn timed_schedule_is_stable() {
+    let run = || {
+        let app = apps::fig1b(SMALL, SLOW);
+        let compiled = compile(&app.graph, &CompileOptions::default()).expect("compile");
+        TimedSimulator::new(&compiled.graph, &compiled.mapping, SimConfig::new(FRAMES))
+            .expect("instantiate")
+            .run()
+            .expect("run")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.node_firings, b.node_firings);
+    assert_eq!(a.sim_time.to_bits(), b.sim_time.to_bits());
+    let la: Vec<u64> = a.frame_latencies.iter().map(|x| x.to_bits()).collect();
+    let lb: Vec<u64> = b.frame_latencies.iter().map(|x| x.to_bits()).collect();
+    assert_eq!(la, lb);
+}

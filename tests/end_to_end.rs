@@ -38,7 +38,10 @@ fn fig1b_parallelized_is_bit_identical() {
     let app = apps::fig1b(presets::SMALL, presets::FAST);
     let c = compile(&app.graph, &CompileOptions::default()).unwrap();
     let conv_plan = c.report.parallelize.plan_for("5x5 Conv").unwrap();
-    assert!(conv_plan.granted >= 3, "expected parallelism: {conv_plan:?}");
+    assert!(
+        conv_plan.granted >= 3,
+        "expected parallelism: {conv_plan:?}"
+    );
     run_functional(&c.graph, FRAMES);
     let frames = app.sinks[0].1.frames();
     assert_eq!(frames.len(), FRAMES as usize);
@@ -198,11 +201,7 @@ fn temporal_iir_feedback_converges() {
             .into_iter()
             .flatten()
             .collect();
-        let expected: Vec<f64> = img
-            .iter()
-            .zip(&prev)
-            .map(|(i, p)| 0.5 * (i + p))
-            .collect();
+        let expected: Vec<f64> = img.iter().zip(&prev).map(|(i, p)| 0.5 * (i + p)).collect();
         for (g, e) in got.iter().zip(&expected) {
             assert!((g - e).abs() < 1e-12, "frame {f}");
         }

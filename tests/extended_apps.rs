@@ -248,7 +248,11 @@ fn stereo_diff_timed_simulation_paces_both_sources() {
     // its input queues stay shallow.
     let g = &c.graph;
     let diff = g.find_node("Diff").unwrap();
-    assert!(report.node_max_queue[diff.0] <= 4, "queue {:?}", report.node_max_queue[diff.0]);
+    assert!(
+        report.node_max_queue[diff.0] <= 4,
+        "queue {:?}",
+        report.node_max_queue[diff.0]
+    );
 }
 
 #[test]
@@ -264,5 +268,8 @@ fn queue_depth_observability_reflects_backlog() {
     assert!(report.verdict.met);
     let max = report.node_max_queue.iter().max().copied().unwrap_or(0);
     assert!(max > 1, "some backlog must be visible");
-    assert!(max <= 64, "never beyond the configured capacity + burst slack");
+    assert!(
+        max <= 64,
+        "never beyond the configured capacity + burst slack"
+    );
 }

@@ -71,7 +71,9 @@ fn multi_conv_matches_iterated_reference() {
         ex.run_frames(1).unwrap();
         let k3: Vec<Vec<f64>> = {
             let w = bp_kernels::binomial_coefficients(3);
-            (0..3).map(|y| (0..3).map(|x| w.get(x, y)).collect()).collect()
+            (0..3)
+                .map(|y| (0..3).map(|x| w.get(x, y)).collect())
+                .collect()
         };
         let mut img = reference::pattern_frame(dim.w, dim.h, 0);
         for _ in 0..stages {

@@ -334,6 +334,59 @@ pub fn analytics(dim: Dim2, rate_hz: f64) -> App {
     }
 }
 
+/// A bank of `cameras` independent Fig. 1(b) pipelines, one per input
+/// camera: no channel or dependency edge crosses between pipelines. This is
+/// the many-camera surveillance shape the paper's scaling argument targets,
+/// and — because the pipelines are mutually independent — it is also the
+/// stress workload for the sharded parallel timed simulator, which can place
+/// each pipeline's PEs in a different shard.
+pub fn camera_bank(cameras: usize, dim: Dim2, rate_hz: f64) -> App {
+    assert!(cameras >= 1);
+    let mut b = GraphBuilder::new();
+    let mut sinks = Vec::with_capacity(cameras);
+    let mut first_input = None;
+    for cam in 0..cameras {
+        let src = b.add_source(
+            format!("Cam{cam}"),
+            k::frame_source(dim, pattern_gen()),
+            dim,
+            rate_hz,
+        );
+        first_input.get_or_insert(src);
+        let med = b.add(format!("3x3 Median{cam}"), k::median(3, 3));
+        let conv = b.add(format!("5x5 Conv{cam}"), k::conv2d(5, 5));
+        let coeff = b.add(
+            format!("5x5 Coeff{cam}"),
+            k::const_source("coeff", k::box_coefficients(5, 5)),
+        );
+        let sub = b.add(format!("Subtract{cam}"), k::subtract());
+        let hist = b.add(format!("Histogram{cam}"), k::histogram(32));
+        let bins = b.add(
+            format!("Hist Bins{cam}"),
+            k::const_source("bins", k::uniform_bins(32, -128.0, 128.0)),
+        );
+        let merge = b.add(format!("Merge{cam}"), k::histogram_merge(32));
+        let (sdef, handle) = k::sink();
+        let snk = b.add(format!("cam{cam}"), sdef);
+        b.connect(src, "out", med, "in");
+        b.connect(src, "out", conv, "in");
+        b.connect(coeff, "out", conv, "coeff");
+        b.connect(med, "out", sub, "in0");
+        b.connect(conv, "out", sub, "in1");
+        b.connect(sub, "out", hist, "in");
+        b.connect(bins, "out", hist, "bins");
+        b.connect(hist, "out", merge, "in");
+        b.connect(merge, "out", snk, "in");
+        b.dep_edge(src, merge);
+        sinks.push((format!("cam{cam}"), handle));
+    }
+    App {
+        graph: b.build().expect("camera_bank is well-formed"),
+        sinks,
+        input: first_input.expect("at least one camera"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,6 +405,7 @@ mod tests {
             edge_detect(dim, 50.0, 20.0),
             analytics(dim, 50.0),
             stereo_diff(dim, 50.0),
+            camera_bank(3, dim, 50.0),
         ] {
             app.graph.validate().unwrap();
             assert!(!app.sinks.is_empty());

@@ -14,7 +14,7 @@ pub mod presets;
 pub mod reference;
 
 pub use apps::{
-    analytics, bayer, edge_detect, fig1b, fir_radio, histogram_app, multi_conv,
+    analytics, bayer, camera_bank, edge_detect, fig1b, fir_radio, histogram_app, multi_conv,
     parallel_buffer_test, stereo_diff, temporal_iir, App,
 };
 pub use noise::NoisePlan;

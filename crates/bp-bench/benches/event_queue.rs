@@ -1,0 +1,69 @@
+//! Microbenchmark of the timed simulator's pending-event queue: the
+//! calendar-bucket implementation (`BucketQueue`, used in the hot path)
+//! against the binary-heap reference (`HeapQueue`). The workload mimics the
+//! simulator's event mix — periodic source ticks plus completion events a
+//! few distinct deltas ahead of "now" — at three queue populations.
+
+use bp_bench::microbench::{black_box, BenchmarkId, Criterion};
+use bp_bench::{criterion_group, criterion_main};
+use bp_core::Rng64;
+use bp_sim::{BucketQueue, EventQueue, HeapQueue};
+
+/// Simulated event deltas in seconds: a 200 Hz source period plus a few
+/// kernel completion times at a 200 MHz PE clock.
+const DELTAS: [f64; 5] = [5.0e-3, 1.2e-6, 7.3e-6, 2.25e-5, 9.01e-5];
+/// Bucket width matching the simulator's choice: one PE clock cycle.
+const QUANTUM: f64 = 1.0 / 200.0e6;
+
+/// Hold the queue at a steady population of `level` while streaming
+/// `ops` push+pop pairs through it, the simulator's steady-state pattern.
+fn churn<Q: EventQueue<u32>>(queue: &mut Q, level: usize, ops: usize, rng: &mut Rng64) {
+    let mut now = 0.0f64;
+    for i in 0..level {
+        queue.push(now + DELTAS[rng.gen_index(DELTAS.len())], i as u32);
+    }
+    for i in 0..ops {
+        queue.push(
+            now + DELTAS[rng.gen_index(DELTAS.len())],
+            (level + i) as u32,
+        );
+        let ev = queue.pop().expect("queue stays populated");
+        now = ev.t;
+        black_box(ev.payload);
+    }
+    while queue.pop().is_some() {}
+}
+
+fn bench_queues(c: &mut Criterion) {
+    const OPS: usize = 20_000;
+    let mut group = c.benchmark_group("event_queue");
+    group.sample_size(20);
+    for level in [4usize, 32, 256] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("bucket-{level}")),
+            &level,
+            |b, &level| {
+                b.iter(|| {
+                    let mut q: BucketQueue<u32> = BucketQueue::new(QUANTUM);
+                    let mut rng = Rng64::seed_from_u64(level as u64);
+                    churn(&mut q, level, OPS, &mut rng);
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("heap-{level}")),
+            &level,
+            |b, &level| {
+                b.iter(|| {
+                    let mut q: HeapQueue<u32> = HeapQueue::new();
+                    let mut rng = Rng64::seed_from_u64(level as u64);
+                    churn(&mut q, level, OPS, &mut rng);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queues);
+criterion_main!(benches);

@@ -8,9 +8,11 @@
 //! the speedup over baseline, so the performance history is visible
 //! in-tree. Schema documented in EXPERIMENTS.md.
 
-use bp_bench::compile_and_simulate;
+use bp_bench::{compile_and_simulate, extract_number, extract_object};
 use bp_compiler::{compile, CompileOptions, MappingKind};
-use bp_sim::{run_batch, FunctionalExecutor, SimConfig, SimReport, TimedSimulator};
+use bp_sim::{
+    run_batch, FunctionalExecutor, ParallelTimedSimulator, SimConfig, SimReport, TimedSimulator,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -33,8 +35,11 @@ fn median(mut v: Vec<f64>) -> f64 {
 
 /// Wall-clock throughput of the timed simulator at the reference config.
 /// "Windows per second" counts kernel firings (each consumes/produces one
-/// window or token set) per wall-clock second of simulation.
-fn bench_timed() -> Throughput {
+/// window or token set) per wall-clock second of simulation. With
+/// `threads > 1` the sharded parallel engine runs instead (bitwise-identical
+/// report; the fig1b pipeline is one connected component, so this mainly
+/// measures the parallel path's overhead).
+fn bench_timed(threads: usize) -> Throughput {
     let app = bp_apps::fig1b(bp_apps::BIG, bp_apps::FAST);
     let opts = CompileOptions::default();
     let compiled = compile(&app.graph, &opts).expect("compile fig1b BIG/FAST");
@@ -43,10 +48,17 @@ fn bench_timed() -> Throughput {
     let mut firings = 0u64;
     for s in 0..SAMPLES + 2 {
         let t0 = Instant::now();
-        let report = TimedSimulator::new(&compiled.graph, &compiled.mapping, config)
-            .expect("instantiate")
-            .run()
-            .expect("run");
+        let report = if threads > 1 {
+            ParallelTimedSimulator::new(&compiled.graph, &compiled.mapping, config, threads)
+                .expect("instantiate")
+                .run()
+                .expect("run")
+        } else {
+            TimedSimulator::new(&compiled.graph, &compiled.mapping, config)
+                .expect("instantiate")
+                .run()
+                .expect("run")
+        };
         let wall = t0.elapsed().as_secs_f64();
         let total: u64 = report.node_firings.iter().sum();
         if firings == 0 {
@@ -145,13 +157,20 @@ fn bench_fig13() -> (Vec<SuiteRow>, f64) {
 }
 
 /// Render one snapshot (baseline or current) as a JSON object.
-fn snapshot_json(timed: &Throughput, func: &Throughput, rows: &[SuiteRow], avg_imp: f64) -> String {
+fn snapshot_json(
+    timed: &Throughput,
+    func: &Throughput,
+    rows: &[SuiteRow],
+    avg_imp: f64,
+    threads: usize,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(
         s,
         "    \"timed_primary\": {{ \"app\": \"fig1b\", \"dim\": \"40x24\", \"rate_hz\": 200.0, \
-         \"frames\": {FRAMES}, \"samples\": {SAMPLES}, \"wall_ms_median\": {:.3}, \
+         \"frames\": {FRAMES}, \"samples\": {SAMPLES}, \"threads\": {threads}, \
+         \"wall_ms_median\": {:.3}, \
          \"firings\": {}, \"windows_per_sec\": {:.1} }},",
         timed.wall_ms_median, timed.firings, timed.windows_per_sec
     );
@@ -179,42 +198,27 @@ fn snapshot_json(timed: &Throughput, func: &Throughput, rows: &[SuiteRow], avg_i
     s
 }
 
-/// Extract the balanced-brace object value of `"key":` from raw JSON text.
-/// The schema contains no braces inside strings, so brace counting is exact.
-fn extract_object(src: &str, key: &str) -> Option<String> {
-    let kpos = src.find(&format!("\"{key}\":"))?;
-    let start = kpos + src[kpos..].find('{')?;
-    let mut depth = 0usize;
-    for (i, c) in src[start..].char_indices() {
-        match c {
-            '{' => depth += 1,
-            '}' => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(src[start..=start + i].to_string());
-                }
+fn main() {
+    let mut out_path = "BENCH_sim.json".to_string();
+    let mut threads = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a positive integer");
             }
-            _ => {}
+            other => out_path = other.to_string(),
         }
     }
-    None
-}
 
-/// Extract the first numeric value of `"key":` inside `obj`.
-fn extract_number(obj: &str, key: &str) -> Option<f64> {
-    let kpos = obj.find(&format!("\"{key}\":"))?;
-    let rest = &obj[kpos + key.len() + 3..];
-    let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
-    rest[..end].trim().parse().ok()
-}
-
-fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_sim.json".to_string());
-
-    println!("measuring timed-simulator throughput (fig1b 40x24 @ 200 Hz, {FRAMES} frames)...");
-    let timed = bench_timed();
+    println!(
+        "measuring timed-simulator throughput \
+         (fig1b 40x24 @ 200 Hz, {FRAMES} frames, {threads} thread(s))..."
+    );
+    let timed = bench_timed(threads);
     println!(
         "  timed: median {:.3} ms, {} firings, {:.0} windows/s",
         timed.wall_ms_median, timed.firings, timed.windows_per_sec
@@ -229,7 +233,7 @@ fn main() {
     let (rows, avg_imp) = bench_fig13();
     println!("  fig13 average GM/1:1 utilization improvement: {avg_imp:.2}x");
 
-    let current = snapshot_json(&timed, &func, &rows, avg_imp);
+    let current = snapshot_json(&timed, &func, &rows, avg_imp, threads);
 
     // Keep an existing committed baseline verbatim; otherwise this run is it.
     let previous = std::fs::read_to_string(&out_path).ok();
@@ -241,11 +245,20 @@ fn main() {
     let base_wps = extract_number(&baseline, "windows_per_sec").unwrap_or(timed.windows_per_sec);
     let speedup = timed.windows_per_sec / base_wps.max(1e-9);
 
+    // A `sim_scaling` block written by the `sim_scaling` binary is carried
+    // over verbatim; rerun that binary to refresh it.
+    let scaling = previous
+        .as_deref()
+        .and_then(|p| extract_object(p, "sim_scaling"));
+
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"bench_sim/v1\",\n");
+    out.push_str("  \"schema\": \"bench_sim/v2\",\n");
     let _ = writeln!(out, "  \"baseline\": {baseline},");
     let _ = writeln!(out, "  \"current\": {current},");
+    if let Some(scaling) = scaling {
+        let _ = writeln!(out, "  \"sim_scaling\": {scaling},");
+    }
     let _ = writeln!(out, "  \"timed_speedup_vs_baseline\": {speedup:.3}");
     out.push_str("}\n");
     std::fs::write(&out_path, &out).expect("write BENCH_sim.json");

@@ -1,0 +1,400 @@
+//! Event queues for the discrete-event simulators.
+//!
+//! The timed simulator's pending-event set is dominated by periodic
+//! `SourceEmit` ticks and `PeDone` completions drawn from a handful of
+//! distinct deltas, so event times cluster tightly. [`BucketQueue`] exploits
+//! that with an index-min calendar queue: events are hashed into a ring of
+//! buckets by quantized time, the cursor walks the ring, and each pop scans
+//! one small bucket for the true minimum. Ordering is **exactly** the
+//! ordering of the previous `BinaryHeap` implementation — ascending time,
+//! ties broken by insertion order (`seq`) — because quantization only picks
+//! the bucket to scan, never the winner within it. [`HeapQueue`] keeps the
+//! binary-heap implementation for differential testing and benchmarking
+//! (`bp-bench/benches/event_queue.rs`).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One pending event: a timestamp, an insertion sequence number for
+/// deterministic tie-breaking, and an engine-defined payload.
+#[derive(Clone, Copy, Debug)]
+pub struct Event<P> {
+    /// Event time in simulated seconds.
+    pub t: f64,
+    /// Insertion order, assigned by the queue; ties on `t` pop in
+    /// ascending `seq`.
+    pub seq: u64,
+    /// Engine payload (e.g. which PE finished).
+    pub payload: P,
+}
+
+/// Common interface of the two queue implementations, so benchmarks and
+/// differential tests can drive either.
+pub trait EventQueue<P> {
+    /// Insert an event at time `t`; later insertions at the same `t` pop
+    /// later.
+    fn push(&mut self, t: f64, payload: P);
+    /// Remove and return the earliest event (smallest `(t, seq)`).
+    fn pop(&mut self) -> Option<Event<P>>;
+    /// Number of pending events.
+    fn len(&self) -> usize;
+    /// True when no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary-heap reference implementation.
+// ---------------------------------------------------------------------------
+
+struct HeapEntry<P> {
+    t: f64,
+    seq: u64,
+    payload: P,
+}
+
+impl<P> PartialEq for HeapEntry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+impl<P> Eq for HeapEntry<P> {}
+impl<P> PartialOrd for HeapEntry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for HeapEntry<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap: smaller time first; ties resolved by insertion order.
+        other
+            .t
+            .partial_cmp(&self.t)
+            .unwrap_or(Ordering::Equal)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// The pre-optimization `BinaryHeap` event queue, kept as the ordering
+/// reference for tests and the comparison microbenchmark.
+pub struct HeapQueue<P> {
+    heap: BinaryHeap<HeapEntry<P>>,
+    seq: u64,
+}
+
+impl<P> Default for HeapQueue<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> HeapQueue<P> {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+}
+
+impl<P> EventQueue<P> for HeapQueue<P> {
+    fn push(&mut self, t: f64, payload: P) {
+        self.seq += 1;
+        self.heap.push(HeapEntry {
+            t,
+            seq: self.seq,
+            payload,
+        });
+    }
+
+    fn pop(&mut self) -> Option<Event<P>> {
+        self.heap.pop().map(|e| Event {
+            t: e.t,
+            seq: e.seq,
+            payload: e.payload,
+        })
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Calendar / bucket queue.
+// ---------------------------------------------------------------------------
+
+/// Ring size; a power of two so bucket indexing is a mask.
+const RING: usize = 1024;
+
+struct BucketEntry<P> {
+    t: f64,
+    seq: u64,
+    /// Quantized absolute key, cached so pops never re-derive it.
+    key: u64,
+    payload: P,
+}
+
+/// An index-min bucket (calendar) queue keyed on quantized time.
+///
+/// `quantum` is the bucket width in simulated seconds — one PE cycle is a
+/// good choice, since firing durations are cycle-quantized plus fractional
+/// word costs. Events within the ring horizon (`RING` quanta ahead of the
+/// cursor) go into their bucket; further events wait in an overflow list
+/// that is drained ring-wise as the cursor crosses into each new "day"
+/// (one full ring revolution). A pop scans the cursor's bucket for the
+/// minimum `(t, seq)` among entries of the current key, so same-bucket
+/// events of different days or sub-quantum time offsets are still popped
+/// in exact order.
+pub struct BucketQueue<P> {
+    buckets: Vec<Vec<BucketEntry<P>>>,
+    /// One bit per ring bucket ("occupied"), so the cursor jumps straight
+    /// to the next non-empty bucket instead of probing empties one by one —
+    /// the "index" of index-min. Sparse queues with long deltas (a 5 ms
+    /// source period is ~10^6 cycle-quanta) would otherwise walk the whole
+    /// ring between pops.
+    occupied: [u64; RING / 64],
+    inv_quantum: f64,
+    /// Quantized key the cursor is standing on.
+    cur_key: u64,
+    /// Entries with keys at or beyond the current day's horizon.
+    overflow: Vec<BucketEntry<P>>,
+    /// Entries currently stored in ring buckets.
+    ring_len: usize,
+    len: usize,
+    seq: u64,
+}
+
+impl<P> BucketQueue<P> {
+    /// Queue with the given bucket width in seconds (must be positive).
+    pub fn new(quantum: f64) -> Self {
+        assert!(quantum > 0.0, "bucket quantum must be positive");
+        Self {
+            buckets: (0..RING).map(|_| Vec::new()).collect(),
+            occupied: [0; RING / 64],
+            inv_quantum: 1.0 / quantum,
+            cur_key: 0,
+            overflow: Vec::new(),
+            ring_len: 0,
+            len: 0,
+            seq: 0,
+        }
+    }
+
+    #[inline]
+    fn quantize(&self, t: f64) -> u64 {
+        (t * self.inv_quantum) as u64
+    }
+
+    /// End (exclusive) of the day the cursor is in: the horizon beyond
+    /// which pushed entries go to the overflow list.
+    #[inline]
+    fn day_end(&self) -> u64 {
+        (self.cur_key / RING as u64 + 1) * RING as u64
+    }
+
+    fn store(&mut self, e: BucketEntry<P>) {
+        if e.key < self.day_end() {
+            let idx = (e.key as usize) & (RING - 1);
+            self.buckets[idx].push(e);
+            self.occupied[idx / 64] |= 1 << (idx % 64);
+            self.ring_len += 1;
+        } else {
+            self.overflow.push(e);
+        }
+    }
+
+    /// Move overflow entries that now fall inside the cursor's day into
+    /// their ring buckets.
+    fn migrate(&mut self) {
+        let horizon = self.day_end();
+        let mut i = 0;
+        while i < self.overflow.len() {
+            if self.overflow[i].key < horizon {
+                let e = self.overflow.swap_remove(i);
+                let idx = (e.key as usize) & (RING - 1);
+                self.buckets[idx].push(e);
+                self.occupied[idx / 64] |= 1 << (idx % 64);
+                self.ring_len += 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// First occupied bucket index at or after `from`, if any. Every ring
+    /// entry's key lies in `[cur_key, day_end)`, so with `from` at the
+    /// cursor's ring position there is never an occupied bucket behind it.
+    #[inline]
+    fn next_occupied(&self, from: usize) -> Option<usize> {
+        let mut word = from / 64;
+        let mut bits = self.occupied[word] & (!0u64 << (from % 64));
+        loop {
+            if bits != 0 {
+                return Some(word * 64 + bits.trailing_zeros() as usize);
+            }
+            word += 1;
+            if word == RING / 64 {
+                return None;
+            }
+            bits = self.occupied[word];
+        }
+    }
+}
+
+impl<P> EventQueue<P> for BucketQueue<P> {
+    fn push(&mut self, t: f64, payload: P) {
+        self.seq += 1;
+        // Events are never scheduled before the cursor's time (discrete
+        // event simulation only schedules at or after `now`), but clamp so
+        // that a same-time push whose key would round below the cursor —
+        // after the cursor already advanced within the quantum — is still
+        // reachable.
+        let key = self.quantize(t).max(self.cur_key);
+        self.len += 1;
+        self.store(BucketEntry {
+            t,
+            seq: self.seq,
+            key,
+            payload,
+        });
+    }
+
+    fn pop(&mut self) -> Option<Event<P>> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.ring_len == 0 {
+            // Everything pending is in overflow: jump the cursor to the
+            // start of the earliest overflow entry's day and migrate. The
+            // minimum key lands in that day, so the ring is non-empty after.
+            let min_key = self
+                .overflow
+                .iter()
+                .map(|e| e.key)
+                .min()
+                .expect("len > 0 but no entries");
+            self.cur_key = min_key - min_key % RING as u64;
+            self.migrate();
+        }
+        let day_start = self.cur_key - self.cur_key % RING as u64;
+        let idx = self
+            .next_occupied((self.cur_key - day_start) as usize)
+            .expect("ring entries are always within the cursor's day");
+        self.cur_key = day_start + idx as u64;
+        let bucket = &mut self.buckets[idx];
+        // Within one day the bucket index determines the key, so every
+        // entry here is at `cur_key` exactly; scan for the min `(t, seq)`.
+        let mut best = 0usize;
+        for (i, e) in bucket.iter().enumerate().skip(1) {
+            debug_assert_eq!(e.key, self.cur_key);
+            let (bt, bs) = (bucket[best].t, bucket[best].seq);
+            if e.t < bt || (e.t == bt && e.seq < bs) {
+                best = i;
+            }
+        }
+        let e = bucket.swap_remove(best);
+        if bucket.is_empty() {
+            self.occupied[idx / 64] &= !(1 << (idx % 64));
+        }
+        self.ring_len -= 1;
+        self.len -= 1;
+        Some(Event {
+            t: e.t,
+            seq: e.seq,
+            payload: e.payload,
+        })
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_core::Rng64;
+
+    /// Drive both queues with an identical randomized push/pop schedule and
+    /// demand bit-identical pop sequences (times, payloads, and implied
+    /// insertion order).
+    fn differential(quantum: f64, deltas: &[f64], seed: u64, ops: usize) {
+        let mut bucket: BucketQueue<u32> = BucketQueue::new(quantum);
+        let mut heap: HeapQueue<u32> = HeapQueue::new();
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut now = 0.0f64;
+        let mut id = 0u32;
+        for _ in 0..ops {
+            let burst = (rng.next_u64() % 4) as usize;
+            for _ in 0..burst {
+                let dt = deltas[(rng.next_u64() as usize) % deltas.len()];
+                bucket.push(now + dt, id);
+                heap.push(now + dt, id);
+                id += 1;
+            }
+            if !rng.next_u64().is_multiple_of(3) {
+                let a = bucket.pop();
+                let b = heap.pop();
+                match (a, b) {
+                    (None, None) => {}
+                    (Some(x), Some(y)) => {
+                        assert_eq!(x.t.to_bits(), y.t.to_bits(), "pop time diverged");
+                        assert_eq!(x.payload, y.payload, "pop order diverged");
+                        now = x.t;
+                    }
+                    _ => panic!("queue lengths diverged"),
+                }
+            }
+            assert_eq!(bucket.len(), heap.len());
+        }
+        // Drain both to the end.
+        loop {
+            match (bucket.pop(), heap.pop()) {
+                (None, None) => break,
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.t.to_bits(), y.t.to_bits());
+                    assert_eq!(x.payload, y.payload);
+                }
+                _ => panic!("drain lengths diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn matches_heap_on_simulation_like_deltas() {
+        // Deltas shaped like the timed simulator's: a few distinct firing
+        // durations plus a periodic source tick, all near the quantum.
+        let deltas = [1.0e-6, 2.5e-6, 5.2083e-6, 1.5625e-7, 9.7e-6];
+        differential(1.0e-6, &deltas, 0x5eed, 4000);
+    }
+
+    #[test]
+    fn matches_heap_with_identical_times() {
+        // Heavy tie traffic: every event lands on one of two instants per
+        // step, exercising seq-order tie-breaking inside one bucket.
+        let deltas = [2.0e-6, 2.0e-6, 4.0e-6];
+        differential(1.0e-6, &deltas, 42, 3000);
+    }
+
+    #[test]
+    fn matches_heap_across_overflow_horizon() {
+        // Deltas far beyond the ring horizon (1024 quanta) force the
+        // overflow path and day migration.
+        let deltas = [0.5e-6, 3.0e-3, 9.0e-3, 2.0e-2];
+        differential(1.0e-6, &deltas, 7, 1500);
+    }
+
+    #[test]
+    fn empty_pops_none() {
+        let mut q: BucketQueue<()> = BucketQueue::new(1e-6);
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+        q.push(0.0, ());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().t, 0.0);
+        assert!(q.pop().is_none());
+    }
+}

@@ -10,6 +10,12 @@
 //!   kernel execution cycles, per-word input read / output write time,
 //!   channel capacity, per-PE time multiplexing and scheduling — but not
 //!   placement/communication delay, matching the paper's simplification.
+//! - [`timed_parallel`]: the same timed semantics executed across worker
+//!   threads — independent PE interaction regions simulate concurrently and
+//!   their event journals are merged by replay, so the report is bitwise
+//!   identical to [`timed`]'s (DESIGN.md §9).
+//! - [`events`]: the pending-event queues (calendar queue + binary-heap
+//!   reference) shared by the timed engines.
 //! - [`stats`]: per-PE utilization (run/read/write breakdown), throughput
 //!   measurement, and real-time verdicts.
 //! - [`parallel`]: a host-side batch runner for simulation sweeps (each
@@ -17,14 +23,18 @@
 
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod functional;
 pub mod parallel;
 pub mod runtime;
 pub mod stats;
 pub mod timed;
+pub mod timed_parallel;
 
+pub use events::{BucketQueue, Event, EventQueue, HeapQueue};
 pub use functional::FunctionalExecutor;
 pub use parallel::{run_batch, run_batch_with_workers};
 pub use runtime::{Action, Program, RtNode, SourceRt};
 pub use stats::{PeStats, RealTimeVerdict, SimReport};
-pub use timed::{SimConfig, TimedSimulator};
+pub use timed::{derive_channel_capacity, SimConfig, TimedSimulator};
+pub use timed_parallel::ParallelTimedSimulator;

@@ -36,6 +36,51 @@ impl<T> Slots<T> {
     }
 }
 
+/// A shared vector whose elements are mutated concurrently under an
+/// *external* disjoint-ownership discipline — the same idea as [`Slots`],
+/// but with ownership decided up front (e.g. a [`bp_core::ShardPlan`]
+/// assigning every node to exactly one shard worker) instead of by an
+/// atomic claim counter. Used by the epoch-sharded timed simulator to let
+/// each worker borrow its own nodes mutably while the vector itself is
+/// shared.
+pub(crate) struct DisjointSlots<T>(Vec<UnsafeCell<T>>);
+
+unsafe impl<T: Send> Sync for DisjointSlots<T> {}
+
+impl<T> DisjointSlots<T> {
+    pub(crate) fn new(items: Vec<T>) -> Self {
+        Self(items.into_iter().map(UnsafeCell::new).collect())
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Mutably borrow slot `i`.
+    ///
+    /// # Safety
+    /// The caller must be the unique owner of slot `i` (per the external
+    /// partition) and must not hold any other borrow of the same slot.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn get_mut(&self, i: usize) -> &mut T {
+        unsafe { &mut *self.0[i].get() }
+    }
+
+    /// Immutably borrow slot `i`. Same ownership contract as
+    /// [`get_mut`](Self::get_mut): only the slot's owner may look, because
+    /// a non-owner could race the owner's mutation.
+    ///
+    /// # Safety
+    /// See [`get_mut`](Self::get_mut).
+    pub(crate) unsafe fn get(&self, i: usize) -> &T {
+        unsafe { &*self.0[i].get() }
+    }
+
+    pub(crate) fn into_inner(self) -> Vec<T> {
+        self.0.into_iter().map(|c| c.into_inner()).collect()
+    }
+}
+
 /// Run every job, using up to `std::thread::available_parallelism` worker
 /// threads, and return the results in job order.
 pub fn run_batch<T, F>(jobs: Vec<F>) -> Vec<T>

@@ -316,6 +316,21 @@ pub struct SourceRt {
     pub rate_hz: f64,
 }
 
+/// The read-only half of an instantiated program: routing tables and
+/// source/const pacing info. Splitting this from the mutable node instances
+/// (see [`Program::split`]) lets the sharded timed simulator share one
+/// `ProgramTables` across worker threads while each worker mutably owns a
+/// disjoint subset of the [`RtNode`]s.
+pub struct ProgramTables {
+    /// `routes[node][out_port]` → destinations `(node, in_port)`.
+    pub routes: Vec<Vec<Vec<(usize, usize)>>>,
+    /// Application inputs (role `Source`), paced per their rate.
+    pub sources: Vec<SourceRt>,
+    /// Constant providers (role `Const`) and feedback primers, fired once
+    /// at startup in node order.
+    pub consts: Vec<(usize, usize)>,
+}
+
 /// An executable instantiation of an [`AppGraph`].
 pub struct Program {
     /// Node instances, indexed like the graph's nodes.
@@ -390,6 +405,18 @@ impl Program {
         })
     }
 
+    /// Split into mutable node instances and shared read-only tables.
+    pub fn split(self) -> (Vec<RtNode>, ProgramTables) {
+        (
+            self.nodes,
+            ProgramTables {
+                routes: self.routes,
+                sources: self.sources,
+                consts: self.consts,
+            },
+        )
+    }
+
     /// Deliver emitted items to the successor queues (fan-out clones share
     /// window storage). The drained buffer is recycled to the firing node.
     pub fn route(&mut self, from: usize, mut emitted: Vec<(usize, Item)>) {
@@ -442,25 +469,31 @@ impl Program {
     /// Describe stuck state for deadlock diagnostics: nodes with queued
     /// input that cannot fire.
     pub fn stuck_report(&self) -> String {
-        let mut s = String::new();
-        for n in &self.nodes {
-            if n.queued_items() > 0 && n.plan().is_none() {
-                let heads: Vec<String> = n
-                    .queues
-                    .iter()
-                    .enumerate()
-                    .map(|(i, q)| {
-                        let head = match q.front() {
-                            None => "-".to_string(),
-                            Some(Item::Window(w)) => format!("W{}", w.dim()),
-                            Some(Item::Control(t)) => t.to_string(),
-                        };
-                        format!("{}:{} (depth {})", n.spec.inputs[i].name, head, q.len())
-                    })
-                    .collect();
-                s.push_str(&format!("  node '{}': {}\n", n.name, heads.join(", ")));
-            }
-        }
-        s
+        stuck_report(&self.nodes)
     }
+}
+
+/// Describe stuck state for deadlock diagnostics over a bare node slice
+/// (the timed simulators hold nodes outside a [`Program`]).
+pub fn stuck_report(nodes: &[RtNode]) -> String {
+    let mut s = String::new();
+    for n in nodes {
+        if n.queued_items() > 0 && n.plan().is_none() {
+            let heads: Vec<String> = n
+                .queues
+                .iter()
+                .enumerate()
+                .map(|(i, q)| {
+                    let head = match q.front() {
+                        None => "-".to_string(),
+                        Some(Item::Window(w)) => format!("W{}", w.dim()),
+                        Some(Item::Control(t)) => t.to_string(),
+                    };
+                    format!("{}:{} (depth {})", n.spec.inputs[i].name, head, q.len())
+                })
+                .collect();
+            s.push_str(&format!("  node '{}': {}\n", n.name, heads.join(", ")));
+        }
+    }
+    s
 }

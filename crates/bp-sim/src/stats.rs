@@ -108,6 +108,65 @@ impl SimReport {
         }
         self.frame_latencies.iter().sum::<f64>() / self.frame_latencies.len() as f64
     }
+
+    /// FNV-1a hash over every field of the report, with floats folded in by
+    /// their exact bit patterns. Two reports fingerprint equal iff they are
+    /// bitwise identical — the equivalence the parallel timed simulator
+    /// guarantees against the sequential one, checked in tests and by the
+    /// `sim_scaling` benchmark.
+    pub fn fingerprint(&self) -> u64 {
+        struct Fnv(u64);
+        impl Fnv {
+            fn byte(&mut self, b: u8) {
+                self.0 ^= b as u64;
+                self.0 = self.0.wrapping_mul(0x100000001b3);
+            }
+            fn word(&mut self, v: u64) {
+                for b in v.to_le_bytes() {
+                    self.byte(b);
+                }
+            }
+            fn float(&mut self, v: f64) {
+                self.word(v.to_bits());
+            }
+        }
+        let mut h = Fnv(0xcbf29ce484222325);
+        for p in &self.pe_stats {
+            h.float(p.run);
+            h.float(p.read);
+            h.float(p.write);
+        }
+        for &f in &self.node_firings {
+            h.word(f);
+        }
+        for &b in &self.node_busy {
+            h.float(b);
+        }
+        h.float(self.sim_time);
+        h.word(self.frames_completed as u64);
+        h.word(self.residual_items);
+        for &b in &self.budget_overruns {
+            h.word(b);
+        }
+        for &q in &self.node_max_queue {
+            h.word(q as u64);
+        }
+        for &l in &self.frame_latencies {
+            h.float(l);
+        }
+        for (name, obs, decl) in &self.token_rate_violations {
+            for b in name.bytes() {
+                h.byte(b);
+            }
+            h.float(*obs);
+            h.float(*decl);
+        }
+        h.word(self.verdict.met as u64);
+        h.word(self.verdict.violations);
+        h.float(self.verdict.required_rate_hz);
+        h.float(self.verdict.achieved_rate_hz);
+        h.0
+    }
 }
 
 #[cfg(test)]

@@ -20,8 +20,18 @@
 //! The round-robin pointer advances exactly as in a full scan, so the
 //! schedule — and therefore every simulation result — is bit-identical to
 //! the exhaustive version.
+//!
+//! The engine itself is [`ShardSim`]: a discrete-event loop over a *set of
+//! owned PEs*. The sequential [`TimedSimulator`] runs one shard owning every
+//! PE; the multi-threaded [`crate::timed_parallel::ParallelTimedSimulator`]
+//! runs one shard per worker over disjoint PE interaction regions (see
+//! DESIGN.md §9). Both paths execute the same per-event code, so their
+//! results can only differ if shard isolation is violated — which debug
+//! assertions on every node access check.
 
-use crate::runtime::{Action, Program};
+use crate::events::{BucketQueue, EventQueue};
+use crate::parallel::DisjointSlots;
+use crate::runtime::{stuck_report, Action, Program, ProgramTables, RtNode};
 use crate::stats::{PeStats, RealTimeVerdict, SimReport};
 use bp_core::graph::AppGraph;
 use bp_core::item::Item;
@@ -29,33 +39,29 @@ use bp_core::kernel::NodeRole;
 use bp_core::machine::{MachineSpec, Mapping};
 use bp_core::token::ControlToken;
 use bp_core::{BpError, Result};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Timed simulation parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct SimConfig {
     /// Target machine.
     pub machine: MachineSpec,
-    /// Capacity of each input queue in items. The paper's model gives each
-    /// port implicit buffering of one iteration; we default to a few items
-    /// of slack on top so token interleaving does not artificially stall.
-    pub channel_capacity: usize,
+    /// Capacity of each input queue in items. `None` (the default) derives
+    /// the capacity from the graph being simulated — see
+    /// [`derive_channel_capacity`]; [`with_channel_capacity`](Self::with_channel_capacity)
+    /// pins an explicit value instead.
+    pub channel_capacity: Option<usize>,
     /// Frames to push through every application input.
     pub frames: u32,
 }
 
 impl SimConfig {
-    /// Default configuration on the evaluation machine. The default channel
-    /// capacity (64 items) gives kernels roughly a window-row of slack so
-    /// that within-frame burstiness — a windowed kernel receives its row of
-    /// windows faster than it drains them, catching up during the halo rows
-    /// — does not register as missed deadlines while sustained overload
-    /// still does.
+    /// Default configuration on the evaluation machine, with the channel
+    /// capacity derived per graph (a window-row of slack; see
+    /// [`derive_channel_capacity`]).
     pub fn new(frames: u32) -> Self {
         Self {
             machine: MachineSpec::default_eval(),
-            channel_capacity: 64,
+            channel_capacity: None,
             frames,
         }
     }
@@ -65,42 +71,47 @@ impl SimConfig {
         self.machine = machine;
         self
     }
+
+    /// Pin an explicit per-queue capacity instead of deriving it from the
+    /// graph.
+    pub fn with_channel_capacity(mut self, items: usize) -> Self {
+        self.channel_capacity = Some(items);
+        self
+    }
 }
 
-#[derive(Debug)]
-enum EventKind {
-    /// Inject the next sample of a source.
-    SourceEmit { source: usize },
+/// Derive the per-queue capacity for a graph: enough slack that within-frame
+/// burstiness — a windowed kernel receives its row of windows faster than it
+/// drains them, catching up during the halo rows — does not register as a
+/// missed deadline, while sustained overload still does.
+///
+/// The slack needed scales with the widest input window row any kernel
+/// consumes, so the capacity is that width rounded up to a power of two,
+/// with a floor of 64 items (the pre-derivation default; every bundled
+/// application's windows are narrower, so they are unaffected).
+pub fn derive_channel_capacity(graph: &AppGraph) -> usize {
+    let widest = graph
+        .nodes()
+        .flat_map(|(_, n)| n.spec().inputs.iter().map(|i| i.size.w as usize))
+        .max()
+        .unwrap_or(0);
+    widest.next_power_of_two().max(64)
+}
+
+/// What a pending simulator event does when it fires.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum EventKind {
+    /// Inject the next sample of a source (index into
+    /// [`ProgramTables::sources`]).
+    SourceEmit {
+        /// Global source index.
+        source: usize,
+    },
     /// A PE finishes its current firing.
-    PeDone { pe: usize },
-}
-
-struct Event {
-    t: f64,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.t == other.t && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap: smaller time first; ties resolved by insertion order.
-        other
-            .t
-            .partial_cmp(&self.t)
-            .unwrap_or(Ordering::Equal)
-            .then(other.seq.cmp(&self.seq))
-    }
+    PeDone {
+        /// Global PE index.
+        pe: usize,
+    },
 }
 
 struct Inflight {
@@ -111,108 +122,284 @@ struct Inflight {
     write_s: f64,
 }
 
-/// The timing-accurate simulator. Construct with a graph, a kernel-to-PE
-/// mapping, and a configuration, then [`run`](Self::run).
-pub struct TimedSimulator {
-    program: Program,
-    residents: Vec<Vec<usize>>,
-    pe_of_node: Vec<usize>,
+/// Everything the event loop reads but never writes, shared by all shards:
+/// routing/pacing tables, the mapping, and resolved configuration.
+pub(crate) struct Shared {
+    pub(crate) tables: ProgramTables,
+    /// Distinct upstream producer nodes per node (for dispatch waves).
+    pub(crate) upstream: Vec<Vec<usize>>,
+    pub(crate) pe_of_node: Vec<usize>,
+    pub(crate) residents: Vec<Vec<usize>>,
+    pub(crate) node_roles: Vec<NodeRole>,
+    pub(crate) machine: MachineSpec,
+    pub(crate) channel_capacity: usize,
+    pub(crate) frames: u32,
+    pub(crate) required_rate_hz: f64,
+    pub(crate) num_sinks: usize,
+}
+
+/// Instantiate `graph` under `mapping` and resolve `config` into the node
+/// instances plus the read-only [`Shared`] tables both simulators consume.
+pub(crate) fn build_shared(
+    graph: &AppGraph,
+    mapping: &Mapping,
+    config: SimConfig,
+) -> Result<(Vec<RtNode>, Shared)> {
+    if mapping.pe_of_node.len() != graph.node_count() {
+        return Err(BpError::Simulation(format!(
+            "mapping covers {} nodes but graph has {}",
+            mapping.pe_of_node.len(),
+            graph.node_count()
+        )));
+    }
+    let channel_capacity = config
+        .channel_capacity
+        .unwrap_or_else(|| derive_channel_capacity(graph));
+    let program = Program::instantiate(graph)?;
+    let (nodes, tables) = program.split();
+    let n = nodes.len();
+    let mut upstream = vec![Vec::new(); n];
+    for (_, c) in graph.channels() {
+        if !upstream[c.dst.node.0].contains(&c.src.node.0) {
+            upstream[c.dst.node.0].push(c.src.node.0);
+        }
+    }
+    let node_roles: Vec<NodeRole> = nodes.iter().map(|rt| rt.spec.role).collect();
+    let num_sinks = node_roles
+        .iter()
+        .filter(|r| **r == NodeRole::Sink)
+        .count()
+        .max(1);
+    let required_rate_hz = graph
+        .sources()
+        .iter()
+        .map(|s| s.rate_hz)
+        .fold(0.0f64, f64::max);
+    let shared = Shared {
+        tables,
+        upstream,
+        pe_of_node: mapping.pe_of_node.clone(),
+        residents: mapping.residents(),
+        node_roles,
+        machine: config.machine,
+        channel_capacity,
+        frames: config.frames,
+        required_rate_hz,
+        num_sinks,
+    };
+    Ok((nodes, shared))
+}
+
+/// What one processed event did, recorded so the parallel coordinator can
+/// replay the *global* heap dynamics (event pop order and sequence-number
+/// assignment) without re-simulating: how many events it pushed (times in
+/// [`ShardLog::push_times`]), and how many sink end-of-frames and frame
+/// starts it recorded (their timestamps all equal `t`).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct LogEntry {
+    pub(crate) t: f64,
+    pub(crate) pushes: u32,
+    pub(crate) eofs: u32,
+    pub(crate) starts: u32,
+}
+
+/// Per-shard event journal for deterministic merging (DESIGN.md §9).
+#[derive(Default)]
+pub(crate) struct ShardLog {
+    /// One entry per owned startup const firing, in global `consts` order.
+    pub(crate) init: Vec<LogEntry>,
+    /// One entry per popped event, in shard pop order.
+    pub(crate) main: Vec<LogEntry>,
+    /// Scheduled times of every push, in push order, consumed sequentially
+    /// by the replay.
+    pub(crate) push_times: Vec<f64>,
+}
+
+/// Owned results of one shard's run, extracted once the event loop is done
+/// so the node slots can be reclaimed.
+pub(crate) struct ShardOutcome {
+    pub(crate) stats: Vec<PeStats>,
+    pub(crate) node_busy: Vec<f64>,
+    pub(crate) violations: u64,
+    pub(crate) sink_eof_times: Vec<f64>,
+    pub(crate) frame_start_times: Vec<f64>,
+    pub(crate) custom_token_emissions: Vec<u64>,
+    pub(crate) budget_overruns: Vec<u64>,
+    pub(crate) node_max_queue: Vec<usize>,
+    pub(crate) now: f64,
+    pub(crate) log: Option<ShardLog>,
+}
+
+/// The discrete-event engine for one shard: a set of PEs (and their resident
+/// nodes) that never interact with any other shard's. The sequential
+/// simulator is the single-shard special case. All state vectors are
+/// globally indexed; entries for PEs/nodes the shard does not own stay at
+/// their initial values and are ignored during merging.
+pub(crate) struct ShardSim<'a> {
+    shared: &'a Shared,
+    nodes: &'a DisjointSlots<RtNode>,
+    shard: usize,
+    shard_of_pe: &'a [usize],
     rr: Vec<usize>,
     pe_inflight: Vec<Option<Inflight>>,
-    upstream: Vec<Vec<usize>>,
-    config: SimConfig,
-    events: BinaryHeap<Event>,
-    seq: u64,
-    now: f64,
-    stats: Vec<PeStats>,
-    node_busy: Vec<f64>,
-    violations: u64,
-    sink_eof_times: Vec<f64>,
-    /// Injection time of each frame's first sample, per source.
-    frame_start_times: Vec<f64>,
-    /// Custom-token emissions per node, for §II-C rate-bound checking.
-    custom_token_emissions: Vec<u64>,
-    source_progress: Vec<u64>,
-    budget_overruns: Vec<u64>,
-    node_max_queue: Vec<usize>,
-    required_rate_hz: f64,
-    node_roles: Vec<NodeRole>,
     /// Ready-set state: `dirty[node]` is true when the node's inputs or
     /// private state changed since its last failed plan; a clean node is
     /// guaranteed unable to fire and is skipped without re-planning.
     dirty: Vec<bool>,
     /// Number of dirty residents per PE; zero means the PE has no work.
     dirty_count: Vec<usize>,
+    events: BucketQueue<EventKind>,
+    now: f64,
+    stats: Vec<PeStats>,
+    node_busy: Vec<f64>,
+    violations: u64,
+    sink_eof_times: Vec<f64>,
+    /// Injection time of each frame's first sample (global source 0 only).
+    frame_start_times: Vec<f64>,
+    /// Custom-token emissions per node, for §II-C rate-bound checking.
+    custom_token_emissions: Vec<u64>,
+    source_progress: Vec<u64>,
+    budget_overruns: Vec<u64>,
+    node_max_queue: Vec<usize>,
+    log: Option<ShardLog>,
+    /// True while handling one loggable unit (a const firing or a popped
+    /// event); gates push recording so source seeds are not journaled.
+    in_entry: bool,
+    entry_push_base: usize,
+    entry_eof_base: usize,
+    entry_start_base: usize,
 }
 
-impl TimedSimulator {
-    /// Instantiate the graph under the given mapping.
-    pub fn new(graph: &AppGraph, mapping: &Mapping, config: SimConfig) -> Result<Self> {
-        if mapping.pe_of_node.len() != graph.node_count() {
-            return Err(BpError::Simulation(format!(
-                "mapping covers {} nodes but graph has {}",
-                mapping.pe_of_node.len(),
-                graph.node_count()
-            )));
-        }
-        let program = Program::instantiate(graph)?;
-        let n = program.nodes.len();
-        let mut upstream = vec![Vec::new(); n];
-        for (_, c) in graph.channels() {
-            if !upstream[c.dst.node.0].contains(&c.src.node.0) {
-                upstream[c.dst.node.0].push(c.src.node.0);
-            }
-        }
-        let node_roles: Vec<NodeRole> = program.nodes.iter().map(|rt| rt.spec.role).collect();
-        let required_rate_hz = graph
-            .sources()
-            .iter()
-            .map(|s| s.rate_hz)
-            .fold(0.0f64, f64::max);
-        let residents = mapping.residents();
-        Ok(Self {
-            pe_of_node: mapping.pe_of_node.clone(),
-            rr: vec![0; residents.len()],
-            pe_inflight: (0..residents.len()).map(|_| None).collect(),
+impl<'a> ShardSim<'a> {
+    /// `shard_of_pe` assigns every PE to a shard; this instance runs the
+    /// PEs of shard `shard`. Pass `record = true` to journal event-loop
+    /// dynamics for the parallel merge.
+    pub(crate) fn new(
+        shared: &'a Shared,
+        nodes: &'a DisjointSlots<RtNode>,
+        shard: usize,
+        shard_of_pe: &'a [usize],
+        record: bool,
+    ) -> Self {
+        let n = nodes.len();
+        let num_pes = shared.residents.len();
+        // One PE cycle per bucket: firing durations are cycle counts plus
+        // fractional word costs, so event times cluster at this scale.
+        let quantum = 1.0 / shared.machine.pe_clock_hz;
+        Self {
+            shared,
+            nodes,
+            shard,
+            shard_of_pe,
+            rr: vec![0; num_pes],
+            pe_inflight: (0..num_pes).map(|_| None).collect(),
             dirty: vec![false; n],
-            dirty_count: vec![0; residents.len()],
-            residents,
-            upstream,
-            stats: vec![PeStats::default(); mapping.num_pes],
-            node_busy: vec![0.0; n],
-            program,
-            config,
-            events: BinaryHeap::new(),
-            seq: 0,
+            dirty_count: vec![0; num_pes],
+            events: BucketQueue::new(quantum),
             now: 0.0,
+            stats: vec![PeStats::default(); num_pes],
+            node_busy: vec![0.0; n],
             violations: 0,
             sink_eof_times: Vec::new(),
             frame_start_times: Vec::new(),
             custom_token_emissions: vec![0; n],
-            source_progress: vec![0; 64],
+            source_progress: vec![0; shared.tables.sources.len()],
             budget_overruns: vec![0; n],
             node_max_queue: vec![0; n],
-            required_rate_hz,
-            node_roles,
-        })
+            log: record.then(ShardLog::default),
+            in_entry: false,
+            entry_push_base: 0,
+            entry_eof_base: 0,
+            entry_start_base: 0,
+        }
+    }
+
+    #[inline]
+    fn owns_node(&self, node: usize) -> bool {
+        self.shard_of_pe[self.shared.pe_of_node[node]] == self.shard
+    }
+
+    /// Borrow an owned node. The disjointness contract makes this sound:
+    /// every node belongs to exactly one shard and only its shard's worker
+    /// ever reaches it (checked here in debug builds).
+    #[inline]
+    fn node(&self, i: usize) -> &RtNode {
+        debug_assert!(
+            self.owns_node(i),
+            "shard {} touched node {} owned by shard {}",
+            self.shard,
+            i,
+            self.shard_of_pe[self.shared.pe_of_node[i]]
+        );
+        // SAFETY: per the shard plan this worker is the unique owner of
+        // node `i` (debug-asserted above), and the borrow is statement-scoped.
+        unsafe { self.nodes.get(i) }
+    }
+
+    /// Mutably borrow an owned node. Same contract as [`node`](Self::node);
+    /// callers keep the borrow statement-scoped so two live borrows of one
+    /// slot cannot exist.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    fn node_mut(&self, i: usize) -> &mut RtNode {
+        debug_assert!(
+            self.owns_node(i),
+            "shard {} touched node {} owned by shard {}",
+            self.shard,
+            i,
+            self.shard_of_pe[self.shared.pe_of_node[i]]
+        );
+        // SAFETY: as in `node`, ownership is exclusive and borrows are
+        // statement-scoped.
+        unsafe { self.nodes.get_mut(i) }
     }
 
     fn push_event(&mut self, t: f64, kind: EventKind) {
-        self.seq += 1;
-        self.events.push(Event {
-            t,
-            seq: self.seq,
-            kind,
-        });
+        if self.in_entry {
+            if let Some(log) = self.log.as_mut() {
+                log.push_times.push(t);
+            }
+        }
+        self.events.push(t, kind);
+    }
+
+    fn begin_entry(&mut self) {
+        if let Some(log) = self.log.as_ref() {
+            self.in_entry = true;
+            self.entry_push_base = log.push_times.len();
+            self.entry_eof_base = self.sink_eof_times.len();
+            self.entry_start_base = self.frame_start_times.len();
+        }
+    }
+
+    fn end_entry(&mut self, t: f64, init: bool) {
+        let (eofs, starts) = (
+            (self.sink_eof_times.len() - self.entry_eof_base) as u32,
+            (self.frame_start_times.len() - self.entry_start_base) as u32,
+        );
+        if let Some(log) = self.log.as_mut() {
+            self.in_entry = false;
+            let entry = LogEntry {
+                t,
+                pushes: (log.push_times.len() - self.entry_push_base) as u32,
+                eofs,
+                starts,
+            };
+            if init {
+                log.init.push(entry);
+            } else {
+                log.main.push(entry);
+            }
+        }
     }
 
     /// Mark a node as possibly able to fire. Sources are paced externally
     /// and never enter the ready set.
     #[inline]
     fn mark_dirty(&mut self, node: usize) {
-        if !self.dirty[node] && self.node_roles[node] != NodeRole::Source {
+        if !self.dirty[node] && self.shared.node_roles[node] != NodeRole::Source {
             self.dirty[node] = true;
-            self.dirty_count[self.pe_of_node[node]] += 1;
+            self.dirty_count[self.shared.pe_of_node[node]] += 1;
         }
     }
 
@@ -220,164 +407,82 @@ impl TimedSimulator {
     fn clear_dirty(&mut self, node: usize) {
         if self.dirty[node] {
             self.dirty[node] = false;
-            self.dirty_count[self.pe_of_node[node]] -= 1;
+            self.dirty_count[self.shared.pe_of_node[node]] -= 1;
         }
     }
 
-    /// Run the simulation to completion and report.
-    pub fn run(mut self) -> Result<SimReport> {
+    /// Run this shard's portion of the simulation to quiescence: fire the
+    /// owned startup constants (in global order), seed the owned sources,
+    /// and drain the event queue.
+    pub(crate) fn run(&mut self) {
         // Constants fire at t = 0, before any source sample.
-        let consts = self.program.consts.clone();
-        for (node, method) in consts {
-            let emitted = self.program.nodes[node].fire_untriggered(method);
+        for ci in 0..self.shared.tables.consts.len() {
+            let (node, method) = self.shared.tables.consts[ci];
+            if !self.owns_node(node) {
+                continue;
+            }
+            self.begin_entry();
+            let emitted = self.node_mut(node).fire_untriggered(method);
             // The firing may change the node's private state (e.g. a
             // feedback primer becoming ready), so re-plan it.
             self.mark_dirty(node);
             let touched = self.route_timed(node, emitted);
             self.dispatch_wave(touched);
+            self.end_entry(0.0, true);
         }
-        self.source_progress = vec![0; self.program.sources.len()];
-        for s in 0..self.program.sources.len() {
-            self.push_event(0.0, EventKind::SourceEmit { source: s });
+        for s in 0..self.shared.tables.sources.len() {
+            if self.owns_node(self.shared.tables.sources[s].node) {
+                self.push_event(0.0, EventKind::SourceEmit { source: s });
+            }
         }
 
         while let Some(ev) = self.events.pop() {
             self.now = ev.t;
-            match ev.kind {
+            self.begin_entry();
+            match ev.payload {
                 EventKind::SourceEmit { source } => self.handle_source_emit(source),
                 EventKind::PeDone { pe } => self.handle_pe_done(pe),
             }
+            self.end_entry(ev.t, false);
         }
+    }
 
-        // Everything settled. If any node still has a fireable plan, the
-        // only thing that can have stopped it is downstream capacity — with
-        // all PEs idle that is a genuine capacity deadlock. Residual items
-        // with no fireable plan are legitimate (e.g. the final frame
-        // circulating in a feedback loop) and are reported, not fatal.
-        let deadlocked = (0..self.program.nodes.len()).any(|i| {
-            self.node_roles[i] != NodeRole::Source && self.program.nodes[i].plan().is_some()
-        });
-        if deadlocked {
-            return Err(BpError::Simulation(format!(
-                "capacity deadlock with {} items queued:\n{}",
-                self.program.queued_items(),
-                self.program.stuck_report()
-            )));
-        }
-        let residual = self.program.queued_items() as u64;
-
-        let frames_completed = self.frames_completed();
-        let achieved = self.achieved_rate(frames_completed);
-        let met = self.violations == 0 && frames_completed >= self.config.frames;
-        // Per-frame latency: first sample injection -> sink end-of-frame.
-        // With several sinks, take the last EOF of each frame.
-        let sinks = self
-            .node_roles
-            .iter()
-            .filter(|r| **r == NodeRole::Sink)
-            .count()
-            .max(1);
-        let frame_latencies: Vec<f64> = self
-            .sink_eof_times
-            .chunks(sinks)
-            .zip(self.frame_start_times.iter())
-            .map(|(eofs, start)| eofs.iter().cloned().fold(0.0f64, f64::max) - start)
-            .collect();
-        // §II-C: verify every kernel stayed within its declared custom-token
-        // rate bounds over the simulated interval.
-        let mut token_rate_violations = Vec::new();
-        if self.now > 0.0 {
-            for (i, rt) in self.program.nodes.iter().enumerate() {
-                let emitted = self.custom_token_emissions[i];
-                if emitted == 0 {
-                    continue;
-                }
-                let declared: f64 = rt.spec.custom_tokens.iter().map(|t| t.max_rate_hz).sum();
-                let observed = emitted as f64 / self.now;
-                // Allow one token of slack for startup transients.
-                if observed > declared + 1.0 / self.now {
-                    token_rate_violations.push((rt.name.clone(), observed, declared));
-                }
-            }
-        }
-        Ok(SimReport {
-            pe_stats: self.stats,
-            node_firings: self.program.nodes.iter().map(|n| n.firings).collect(),
+    /// Extract the owned results, releasing the borrows on the node slots.
+    pub(crate) fn into_outcome(self) -> ShardOutcome {
+        ShardOutcome {
+            stats: self.stats,
             node_busy: self.node_busy,
-            sim_time: self.now,
-            frames_completed,
-            residual_items: residual,
+            violations: self.violations,
+            sink_eof_times: self.sink_eof_times,
+            frame_start_times: self.frame_start_times,
+            custom_token_emissions: self.custom_token_emissions,
             budget_overruns: self.budget_overruns,
             node_max_queue: self.node_max_queue,
-            frame_latencies,
-            token_rate_violations,
-            verdict: RealTimeVerdict {
-                met,
-                violations: self.violations,
-                required_rate_hz: self.required_rate_hz,
-                achieved_rate_hz: achieved,
-            },
-        })
-    }
-
-    fn frames_completed(&self) -> u32 {
-        let sinks = self
-            .node_roles
-            .iter()
-            .filter(|r| **r == NodeRole::Sink)
-            .count()
-            .max(1);
-        (self.sink_eof_times.len() / sinks) as u32
-    }
-
-    fn achieved_rate(&self, frames: u32) -> f64 {
-        // One frame completes when all sinks have seen its end-of-frame;
-        // group the EOF arrivals per frame and rate the completions.
-        let sinks = self
-            .node_roles
-            .iter()
-            .filter(|r| **r == NodeRole::Sink)
-            .count()
-            .max(1);
-        let completions: Vec<f64> = self
-            .sink_eof_times
-            .chunks_exact(sinks)
-            .map(|c| c.iter().cloned().fold(0.0f64, f64::max))
-            .collect();
-        if completions.len() >= 2 {
-            let first = completions[0];
-            let last = *completions.last().unwrap();
-            if last > first {
-                return (completions.len() - 1) as f64 / (last - first);
-            }
-        }
-        if self.now > 0.0 {
-            frames as f64 / self.now
-        } else {
-            0.0
+            now: self.now,
+            log: self.log,
         }
     }
 
     fn handle_source_emit(&mut self, source: usize) {
-        let s = self.program.sources[source];
+        let s = self.shared.tables.sources[source];
         if source == 0 && self.source_progress[source].is_multiple_of(s.frame.area()) {
             self.frame_start_times.push(self.now);
         }
         // Check capacity at the destinations before injecting; a full queue
         // at the scheduled time is a missed deadline (counted once per
         // injection, however many destinations are saturated).
-        let full = self.program.routes[s.node][0].iter().any(|&(dn, dp)| {
-            self.program.nodes[dn].queues[dp].len() >= self.config.channel_capacity
-        });
+        let full = self.shared.tables.routes[s.node][0]
+            .iter()
+            .any(|&(dn, dp)| self.node(dn).queues[dp].len() >= self.shared.channel_capacity);
         if full {
             self.violations += 1;
         }
-        let emitted = self.program.nodes[s.node].fire_untriggered(s.method);
+        let emitted = self.node_mut(s.node).fire_untriggered(s.method);
         let touched = self.route_timed(s.node, emitted);
         self.dispatch_wave(touched);
 
         self.source_progress[source] += 1;
-        let total = s.frame.area() * self.config.frames as u64;
+        let total = s.frame.area() * self.shared.frames as u64;
         if self.source_progress[source] < total {
             let period = 1.0 / (s.rate_hz * s.frame.area() as f64);
             let t_next = self.source_progress[source] as f64 * period;
@@ -407,27 +512,30 @@ impl TimedSimulator {
             if let Item::Control(ControlToken::Custom(_)) = item {
                 self.custom_token_emissions[from] += 1;
             }
-            let n_dests = self.program.routes[from][port].len();
+            let n_dests = self.shared.tables.routes[from][port].len();
             for di in 0..n_dests {
-                let (dn, dp) = self.program.routes[from][port][di];
-                if self.node_roles[dn] == NodeRole::Sink {
+                let (dn, dp) = self.shared.tables.routes[from][port][di];
+                if self.shared.node_roles[dn] == NodeRole::Sink {
                     if let Item::Control(ControlToken::EndOfFrame) = item {
                         self.sink_eof_times.push(self.now);
                     }
                 }
-                self.program.nodes[dn].queues[dp].push_back(item.clone());
-                let depth = self.program.nodes[dn].queues[dp].len();
+                let depth = {
+                    let queue = &mut self.node_mut(dn).queues[dp];
+                    queue.push_back(item.clone());
+                    queue.len()
+                };
                 if depth > self.node_max_queue[dn] {
                     self.node_max_queue[dn] = depth;
                 }
                 self.mark_dirty(dn);
-                let pe = self.pe_of_node[dn];
+                let pe = self.shared.pe_of_node[dn];
                 if !touched.contains(&pe) {
                     touched.push(pe);
                 }
             }
         }
-        self.program.nodes[from].recycle_out_buf(emitted);
+        self.node_mut(from).recycle_out_buf(emitted);
         touched
     }
 
@@ -439,8 +547,8 @@ impl TimedSimulator {
                 continue;
             }
             if let Some(node) = self.try_start(pe) {
-                for i in 0..self.upstream[node].len() {
-                    let up_pe = self.pe_of_node[self.upstream[node][i]];
+                for i in 0..self.shared.upstream[node].len() {
+                    let up_pe = self.shared.pe_of_node[self.shared.upstream[node][i]];
                     if !worklist.contains(&up_pe) {
                         worklist.push(up_pe);
                     }
@@ -462,14 +570,14 @@ impl TimedSimulator {
         if self.dirty_count[pe] == 0 {
             return None;
         }
-        let len = self.residents[pe].len();
+        let len = self.shared.residents[pe].len();
         for k in 0..len {
             let idx = (self.rr[pe] + k) % len;
-            let node = self.residents[pe][idx];
+            let node = self.shared.residents[pe][idx];
             if !self.dirty[node] {
                 continue;
             }
-            let Some(action) = self.program.nodes[node].plan() else {
+            let Some(action) = self.node(node).plan() else {
                 self.clear_dirty(node);
                 continue;
             };
@@ -479,7 +587,7 @@ impl TimedSimulator {
             // Compute read words from the items about to be consumed.
             let read_words: u64 = match action {
                 Action::Fire { method } => {
-                    let n = &self.program.nodes[node];
+                    let n = self.node(node);
                     n.compiled[method]
                         .triggers
                         .iter()
@@ -489,10 +597,10 @@ impl TimedSimulator {
                 Action::Forward { .. } => 0,
             };
             let declared: u64 = match action {
-                Action::Fire { method } => self.program.nodes[node].compiled[method].cost_cycles,
+                Action::Fire { method } => self.node(node).compiled[method].cost_cycles,
                 Action::Forward { .. } => 1,
             };
-            let (emitted, actual) = self.program.nodes[node].execute_with_cost(action);
+            let (emitted, actual) = self.node_mut(node).execute_with_cost(action);
             // Firing consumed inputs and may have changed private state;
             // the node must be re-planned before it can be skipped again.
             self.mark_dirty(node);
@@ -504,7 +612,7 @@ impl TimedSimulator {
                 self.budget_overruns[node] += 1;
             }
             let write_words: u64 = emitted.iter().map(|(_, i)| i.words()).sum();
-            let m = &self.config.machine;
+            let m = &self.shared.machine;
             let run_s = cycles as f64 / m.pe_clock_hz;
             let read_s = read_words as f64 * m.read_cost_per_word / m.pe_clock_hz;
             let write_s = write_words as f64 * m.write_cost_per_word / m.pe_clock_hz;
@@ -530,14 +638,217 @@ impl TimedSimulator {
         let method = match action {
             Action::Fire { method } | Action::Forward { method, .. } => method,
         };
-        let outputs = &self.program.nodes[node].compiled[method].outputs;
+        let outputs = &self.node(node).compiled[method].outputs;
         for &port in outputs {
-            for &(dn, dp) in &self.program.routes[node][port] {
-                if self.program.nodes[dn].queues[dp].len() + 2 > self.config.channel_capacity {
+            for &(dn, dp) in &self.shared.tables.routes[node][port] {
+                if self.node(dn).queues[dp].len() + 2 > self.shared.channel_capacity {
                     return false;
                 }
             }
         }
         true
+    }
+}
+
+/// Check the settled program for a capacity deadlock and build the final
+/// report. Used identically by the sequential and parallel simulators, with
+/// the latter feeding merged per-shard state.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble_report(
+    shared: &Shared,
+    nodes: &[RtNode],
+    stats: Vec<PeStats>,
+    node_busy: Vec<f64>,
+    now: f64,
+    violations: u64,
+    sink_eof_times: Vec<f64>,
+    frame_start_times: Vec<f64>,
+    custom_token_emissions: &[u64],
+    budget_overruns: Vec<u64>,
+    node_max_queue: Vec<usize>,
+) -> Result<SimReport> {
+    // Everything settled. If any node still has a fireable plan, the
+    // only thing that can have stopped it is downstream capacity — with
+    // all PEs idle that is a genuine capacity deadlock. Residual items
+    // with no fireable plan are legitimate (e.g. the final frame
+    // circulating in a feedback loop) and are reported, not fatal.
+    let deadlocked = (0..nodes.len())
+        .any(|i| shared.node_roles[i] != NodeRole::Source && nodes[i].plan().is_some());
+    if deadlocked {
+        let queued: usize = nodes.iter().map(|n| n.queued_items()).sum();
+        return Err(BpError::Simulation(format!(
+            "capacity deadlock with {} items queued:\n{}",
+            queued,
+            stuck_report(nodes)
+        )));
+    }
+    let residual: u64 = nodes.iter().map(|n| n.queued_items() as u64).sum();
+
+    let sinks = shared.num_sinks;
+    let frames_completed = (sink_eof_times.len() / sinks) as u32;
+    // One frame completes when all sinks have seen its end-of-frame;
+    // group the EOF arrivals per frame and rate the completions.
+    let completions: Vec<f64> = sink_eof_times
+        .chunks_exact(sinks)
+        .map(|c| c.iter().cloned().fold(0.0f64, f64::max))
+        .collect();
+    let achieved = if completions.len() >= 2 && *completions.last().unwrap() > completions[0] {
+        (completions.len() - 1) as f64 / (completions.last().unwrap() - completions[0])
+    } else if now > 0.0 {
+        frames_completed as f64 / now
+    } else {
+        0.0
+    };
+    let met = violations == 0 && frames_completed >= shared.frames;
+    // Per-frame latency: first sample injection -> sink end-of-frame.
+    // With several sinks, take the last EOF of each frame.
+    let frame_latencies: Vec<f64> = sink_eof_times
+        .chunks(sinks)
+        .zip(frame_start_times.iter())
+        .map(|(eofs, start)| eofs.iter().cloned().fold(0.0f64, f64::max) - start)
+        .collect();
+    // §II-C: verify every kernel stayed within its declared custom-token
+    // rate bounds over the simulated interval.
+    let mut token_rate_violations = Vec::new();
+    if now > 0.0 {
+        for (i, rt) in nodes.iter().enumerate() {
+            let emitted = custom_token_emissions[i];
+            if emitted == 0 {
+                continue;
+            }
+            let declared: f64 = rt.spec.custom_tokens.iter().map(|t| t.max_rate_hz).sum();
+            let observed = emitted as f64 / now;
+            // Allow one token of slack for startup transients.
+            if observed > declared + 1.0 / now {
+                token_rate_violations.push((rt.name.clone(), observed, declared));
+            }
+        }
+    }
+    Ok(SimReport {
+        pe_stats: stats,
+        node_firings: nodes.iter().map(|n| n.firings).collect(),
+        node_busy,
+        sim_time: now,
+        frames_completed,
+        residual_items: residual,
+        budget_overruns,
+        node_max_queue,
+        frame_latencies,
+        token_rate_violations,
+        verdict: RealTimeVerdict {
+            met,
+            violations,
+            required_rate_hz: shared.required_rate_hz,
+            achieved_rate_hz: achieved,
+        },
+    })
+}
+
+/// The timing-accurate simulator. Construct with a graph, a kernel-to-PE
+/// mapping, and a configuration, then [`run`](Self::run).
+pub struct TimedSimulator {
+    nodes: Vec<RtNode>,
+    shared: Shared,
+}
+
+impl TimedSimulator {
+    /// Instantiate the graph under the given mapping.
+    pub fn new(graph: &AppGraph, mapping: &Mapping, config: SimConfig) -> Result<Self> {
+        let (nodes, shared) = build_shared(graph, mapping, config)?;
+        Ok(Self { nodes, shared })
+    }
+
+    /// Wrap an already-instantiated program (the parallel simulator's
+    /// single-shard fallback).
+    pub(crate) fn from_parts(nodes: Vec<RtNode>, shared: Shared) -> Self {
+        Self { nodes, shared }
+    }
+
+    /// Run the simulation to completion and report.
+    pub fn run(self) -> Result<SimReport> {
+        let Self { nodes, shared } = self;
+        // One shard owning every PE: the engine runs exactly the schedule
+        // documented at the top of this module.
+        let shard_of_pe = vec![0usize; shared.residents.len()];
+        let slots = DisjointSlots::new(nodes);
+        let outcome = {
+            let mut sim = ShardSim::new(&shared, &slots, 0, &shard_of_pe, false);
+            sim.run();
+            sim.into_outcome()
+        };
+        let nodes = slots.into_inner();
+        assemble_report(
+            &shared,
+            &nodes,
+            outcome.stats,
+            outcome.node_busy,
+            outcome.now,
+            outcome.violations,
+            outcome.sink_eof_times,
+            outcome.frame_start_times,
+            &outcome.custom_token_emissions,
+            outcome.budget_overruns,
+            outcome.node_max_queue,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_core::{Dim2, GraphBuilder};
+
+    fn chain_graph(kernel: bp_core::KernelDef) -> AppGraph {
+        let dim = Dim2::new(20, 12);
+        let mut b = GraphBuilder::new();
+        let src = b.add_source("Input", bp_kernels::pattern_source(dim), dim, 50.0);
+        let k = b.add("K", kernel);
+        let (sdef, _) = bp_kernels::sink();
+        let snk = b.add("Out", sdef);
+        b.connect(src, "out", k, "in");
+        b.connect(k, "out", snk, "in");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn capacity_derives_floor_for_narrow_windows() {
+        // Every input window in this graph is narrower than 64, so the
+        // derived capacity is the 64-item floor (the historical default).
+        let g = chain_graph(bp_kernels::median(5, 5));
+        assert_eq!(derive_channel_capacity(&g), 64);
+    }
+
+    #[test]
+    fn capacity_derives_from_widest_input_row() {
+        // A 100-tap FIR consumes a 100-wide window row: capacity rounds up
+        // to the next power of two.
+        let dim = Dim2::new(200, 1);
+        let mut b = GraphBuilder::new();
+        let src = b.add_source("In", bp_kernels::pattern_source(dim), dim, 100.0);
+        let fir = b.add("Fir", bp_kernels::fir(100));
+        let taps = b.add(
+            "Taps",
+            bp_kernels::const_source("taps", bp_kernels::boxcar_taps(100)),
+        );
+        let (sdef, _) = bp_kernels::sink();
+        let snk = b.add("Out", sdef);
+        b.connect(src, "out", fir, "in");
+        b.connect(taps, "out", fir, "taps");
+        b.connect(fir, "out", snk, "in");
+        let g = b.build().unwrap();
+        assert_eq!(derive_channel_capacity(&g), 128);
+    }
+
+    #[test]
+    fn explicit_capacity_overrides_derivation() {
+        let g = chain_graph(bp_kernels::scale(2.0, 0.0));
+        let cfg = SimConfig::new(1).with_channel_capacity(16);
+        assert_eq!(cfg.channel_capacity, Some(16));
+        // The override is what the simulator resolves, not the derived value.
+        let mapping = Mapping::one_to_one(g.node_count());
+        let (_, shared) = build_shared(&g, &mapping, cfg).unwrap();
+        assert_eq!(shared.channel_capacity, 16);
+        let (_, shared) = build_shared(&g, &mapping, SimConfig::new(1)).unwrap();
+        assert_eq!(shared.channel_capacity, 64);
     }
 }

@@ -1,0 +1,253 @@
+//! Multi-threaded timed simulation with bitwise-identical results
+//! (DESIGN.md §9).
+//!
+//! The simulated machine has no modeled communication delay, so a
+//! conservative parallel discrete-event simulator has zero lookahead across
+//! any channel: two PEs connected (even transitively) by channels can
+//! interact at the very timestamp being processed. What *can* run freely in
+//! parallel are the weakly connected components of the mapped channel
+//! graph — no item routing, no dispatch wave, and no back-pressure ever
+//! crosses between them. [`bp_core::ShardPlan`] groups those components
+//! into per-worker shards; each worker runs the ordinary event loop
+//! ([`crate::timed::ShardSim`]) over its own PEs to completion.
+//!
+//! Within one shard, event times and handler effects are independent of the
+//! other shards (disjoint state), and the pop order of the shard's events
+//! equals the sequential simulator's pop order restricted to that shard:
+//! local insertion order is the global insertion order filtered to the
+//! shard, and both queues order by `(t, insertion)`. Per-shard artifacts —
+//! PE stats, node firings, queue depths — are therefore already bitwise
+//! equal to the sequential run's, and are merged by taking each entry from
+//! its owning shard.
+//!
+//! Globally *ordered* artifacts (the interleaving of sink end-of-frame
+//! arrivals across shards, which feeds frame accounting) additionally need
+//! the sequential pop order across shards. Each worker journals, per
+//! processed event, the times of the events it pushed and how many
+//! EOFs/frame-starts it recorded ([`crate::timed::ShardLog`]). The merge
+//! then *replays* the global heap symbolically: it seeds the startup pushes
+//! in program order, pops by `(time, global sequence)`, and consumes each
+//! shard's journal in order, reconstructing the exact global event order —
+//! and thus the exact `SimReport` — without touching any kernel state.
+
+use crate::events::{EventQueue, HeapQueue};
+use crate::parallel::DisjointSlots;
+use crate::runtime::RtNode;
+use crate::stats::{PeStats, SimReport};
+use crate::timed::{
+    assemble_report, build_shared, LogEntry, ShardLog, ShardOutcome, ShardSim, Shared, SimConfig,
+    TimedSimulator,
+};
+use bp_core::graph::AppGraph;
+use bp_core::machine::{Mapping, ShardPlan};
+use bp_core::Result;
+
+/// Timed simulator that executes independent PE interaction regions on
+/// worker threads. Produces bitwise-identical [`SimReport`]s to
+/// [`TimedSimulator`] for every graph, mapping, and thread count.
+pub struct ParallelTimedSimulator {
+    nodes: Vec<RtNode>,
+    shared: Shared,
+    plan: ShardPlan,
+}
+
+impl ParallelTimedSimulator {
+    /// Instantiate the graph under the given mapping, targeting up to
+    /// `threads` worker threads. The usable parallelism is capped by the
+    /// number of independent PE regions ([`ShardPlan::num_components`]);
+    /// with one region (or `threads <= 1`) the run degrades to the
+    /// sequential engine.
+    pub fn new(
+        graph: &AppGraph,
+        mapping: &Mapping,
+        config: SimConfig,
+        threads: usize,
+    ) -> Result<Self> {
+        let (nodes, shared) = build_shared(graph, mapping, config)?;
+        // Dependency edges carry no runtime traffic, but fold them in
+        // anyway: sharding is correctness-critical, and the cost of a
+        // merged component is only lost parallelism.
+        let mut edges: Vec<(usize, usize)> = graph
+            .channels()
+            .map(|(_, c)| (c.src.node.0, c.dst.node.0))
+            .collect();
+        edges.extend(graph.dep_edges().iter().map(|d| (d.src.0, d.dst.0)));
+        let plan = ShardPlan::build(mapping, &edges, threads.max(1));
+        Ok(Self {
+            nodes,
+            shared,
+            plan,
+        })
+    }
+
+    /// Worker threads the run will actually use.
+    pub fn num_shards(&self) -> usize {
+        self.plan.num_shards
+    }
+
+    /// Run the simulation to completion and report.
+    pub fn run(self) -> Result<SimReport> {
+        let Self {
+            nodes,
+            shared,
+            plan,
+        } = self;
+        if plan.num_shards <= 1 {
+            return TimedSimulator::from_parts(nodes, shared).run();
+        }
+        let n = nodes.len();
+        let num_pes = shared.residents.len();
+        let slots = DisjointSlots::new(nodes);
+        let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..plan.num_shards)
+                .map(|shard| {
+                    let (shared, slots) = (&shared, &slots);
+                    let shard_of_pe = &plan.shard_of_pe[..];
+                    scope.spawn(move || {
+                        let mut sim = ShardSim::new(shared, slots, shard, shard_of_pe, true);
+                        sim.run();
+                        sim.into_outcome()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        let nodes = slots.into_inner();
+
+        // Disjoint merge: every PE (and node) is written by exactly one
+        // shard; take its entries from the owner.
+        let mut stats = vec![PeStats::default(); num_pes];
+        for (pe, slot) in stats.iter_mut().enumerate() {
+            *slot = outcomes[plan.shard_of_pe[pe]].stats[pe];
+        }
+        let owner = |i: usize| &outcomes[plan.shard_of_pe[shared.pe_of_node[i]]];
+        let node_busy: Vec<f64> = (0..n).map(|i| owner(i).node_busy[i]).collect();
+        let custom_token_emissions: Vec<u64> =
+            (0..n).map(|i| owner(i).custom_token_emissions[i]).collect();
+        let budget_overruns: Vec<u64> = (0..n).map(|i| owner(i).budget_overruns[i]).collect();
+        let node_max_queue: Vec<usize> = (0..n).map(|i| owner(i).node_max_queue[i]).collect();
+        let violations: u64 = outcomes.iter().map(|o| o.violations).sum();
+        // The sequential loop leaves `now` at the time of the last popped
+        // event; events pop in ascending time, so that is the maximum event
+        // time over all shards (pure selection, no arithmetic).
+        let now = outcomes.iter().map(|o| o.now).fold(0.0f64, f64::max);
+
+        let (sink_eof_times, frame_start_times) = replay_merge(&shared, &plan, &outcomes);
+
+        assemble_report(
+            &shared,
+            &nodes,
+            stats,
+            node_busy,
+            now,
+            violations,
+            sink_eof_times,
+            frame_start_times,
+            &custom_token_emissions,
+            budget_overruns,
+            node_max_queue,
+        )
+    }
+}
+
+/// Reconstruct the global event pop order from the per-shard journals and
+/// emit the globally-ordered artifacts: sink EOF times and frame start
+/// times, exactly as the sequential simulator would have recorded them.
+fn replay_merge(
+    shared: &Shared,
+    plan: &ShardPlan,
+    outcomes: &[ShardOutcome],
+) -> (Vec<f64>, Vec<f64>) {
+    let logs: Vec<&ShardLog> = outcomes
+        .iter()
+        .map(|o| o.log.as_ref().expect("parallel shards record journals"))
+        .collect();
+    // The replay heap mirrors the sequential engine's: push order assigns
+    // the global sequence numbers, pops come back in `(t, seq)` order.
+    let mut heap: HeapQueue<usize> = HeapQueue::new();
+    let mut push_idx = vec![0usize; logs.len()];
+    let mut eofs: Vec<f64> = Vec::new();
+    let mut starts: Vec<f64> = Vec::new();
+
+    fn consume(
+        sh: usize,
+        entry: LogEntry,
+        log: &ShardLog,
+        push_idx: &mut [usize],
+        heap: &mut HeapQueue<usize>,
+        eofs: &mut Vec<f64>,
+        starts: &mut Vec<f64>,
+    ) {
+        for _ in 0..entry.pushes {
+            let t = log.push_times[push_idx[sh]];
+            push_idx[sh] += 1;
+            heap.push(t, sh);
+        }
+        for _ in 0..entry.eofs {
+            eofs.push(entry.t);
+        }
+        for _ in 0..entry.starts {
+            starts.push(entry.t);
+        }
+    }
+
+    // Startup: the sequential engine fires every const in program order
+    // (each may schedule events), then seeds one SourceEmit per source in
+    // program order. Each shard performed the same steps filtered to its
+    // nodes, so its journal entries are consumed as the global order visits
+    // its nodes.
+    let mut init_idx = vec![0usize; logs.len()];
+    for &(node, _) in &shared.tables.consts {
+        let sh = plan.shard_of_pe[shared.pe_of_node[node]];
+        let entry = logs[sh].init[init_idx[sh]];
+        init_idx[sh] += 1;
+        consume(
+            sh,
+            entry,
+            logs[sh],
+            &mut push_idx,
+            &mut heap,
+            &mut eofs,
+            &mut starts,
+        );
+    }
+    for s in &shared.tables.sources {
+        heap.push(0.0, plan.shard_of_pe[shared.pe_of_node[s.node]]);
+    }
+
+    let mut main_idx = vec![0usize; logs.len()];
+    while let Some(ev) = heap.pop() {
+        let sh = ev.payload;
+        let entry = logs[sh].main[main_idx[sh]];
+        main_idx[sh] += 1;
+        debug_assert_eq!(
+            entry.t.to_bits(),
+            ev.t.to_bits(),
+            "replay desync on shard {sh}: journal has t={}, heap popped t={} — \
+             shards were not independent",
+            entry.t,
+            ev.t
+        );
+        consume(
+            sh,
+            entry,
+            logs[sh],
+            &mut push_idx,
+            &mut heap,
+            &mut eofs,
+            &mut starts,
+        );
+    }
+    for (sh, log) in logs.iter().enumerate() {
+        debug_assert_eq!(
+            main_idx[sh],
+            log.main.len(),
+            "shard {sh} journal not fully replayed"
+        );
+        debug_assert_eq!(push_idx[sh], log.push_times.len());
+    }
+    (eofs, starts)
+}

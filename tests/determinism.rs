@@ -9,8 +9,8 @@
 
 use bp_apps::{apps, App, SLOW, SMALL};
 use bp_compiler::{compile, CompileOptions};
-use bp_core::Item;
-use bp_sim::{FunctionalExecutor, SimConfig, TimedSimulator};
+use bp_core::{Dim2, Item, MachineSpec};
+use bp_sim::{FunctionalExecutor, ParallelTimedSimulator, SimConfig, TimedSimulator};
 
 const FRAMES: u32 = 2;
 
@@ -111,6 +111,103 @@ fn timed_matches_functional_bitwise() {
         let f = run_functional(&build(name));
         let t = run_timed(&build(name));
         assert_eq!(f, t, "{name}: timed and functional outputs diverge");
+    }
+}
+
+/// Every example application, by name; each build yields fresh sink handles.
+const EXAMPLE_APPS: &[&str] = &[
+    "fig1b",
+    "bayer",
+    "histogram",
+    "parallel_buffer",
+    "multi_conv",
+    "temporal_iir",
+    "fir_radio",
+    "edge_detect",
+    "analytics",
+    "stereo_diff",
+    "camera_bank",
+];
+
+fn build_example(name: &str) -> App {
+    match name {
+        "fig1b" => apps::fig1b(SMALL, SLOW),
+        "bayer" => apps::bayer(SMALL, SLOW),
+        "histogram" => apps::histogram_app(SMALL, SLOW, 32),
+        "parallel_buffer" => apps::parallel_buffer_test(Dim2::new(64, 12), 10.0),
+        "multi_conv" => apps::multi_conv(SMALL, SLOW, 3),
+        "temporal_iir" => apps::temporal_iir(SMALL, SLOW),
+        "fir_radio" => apps::fir_radio(72, 100.0),
+        "edge_detect" => apps::edge_detect(SMALL, SLOW, 0.5),
+        "analytics" => apps::analytics(SMALL, SLOW),
+        "stereo_diff" => apps::stereo_diff(SMALL, SLOW),
+        "camera_bank" => apps::camera_bank(3, SMALL, SLOW),
+        _ => unreachable!("unknown app {name}"),
+    }
+}
+
+/// The sharded parallel timed simulator must be *bitwise* identical to the
+/// sequential one — every report field (times, rates, latencies, firing
+/// counts, queue depths) and every sink item — for every example app, at
+/// every worker count, on more than one machine spec. Connected apps
+/// degrade to one shard (exercising the fallback); `camera_bank` actually
+/// fans out across workers.
+#[test]
+fn parallel_timed_is_bitwise_identical_to_sequential() {
+    let machines = [
+        ("default_eval", MachineSpec::default_eval()),
+        ("tight_memory", MachineSpec::tight_memory()),
+    ];
+    for &name in EXAMPLE_APPS {
+        for (mname, machine) in machines {
+            let opts = CompileOptions {
+                machine,
+                ..Default::default()
+            };
+            let config = SimConfig::new(FRAMES).with_machine(machine);
+            let app = build_example(name);
+            let compiled = compile(&app.graph, &opts).expect("compile");
+            let seq = TimedSimulator::new(&compiled.graph, &compiled.mapping, config)
+                .expect("instantiate")
+                .run();
+            let seq_items: Vec<Vec<Item>> = app.sinks.iter().map(|(_, h)| h.items()).collect();
+            for threads in [1usize, 2, 4, 8] {
+                let app2 = build_example(name);
+                let compiled2 = compile(&app2.graph, &opts).expect("compile");
+                let par = ParallelTimedSimulator::new(
+                    &compiled2.graph,
+                    &compiled2.mapping,
+                    config,
+                    threads,
+                )
+                .expect("instantiate")
+                .run();
+                match (&seq, &par) {
+                    (Ok(s), Ok(p)) => assert_eq!(
+                        s.fingerprint(),
+                        p.fingerprint(),
+                        "{name} on {mname} with {threads} threads: SimReport diverged"
+                    ),
+                    // temporal_iir legitimately capacity-deadlocks at this
+                    // scale (pre-existing behavior); both engines must
+                    // diagnose it identically.
+                    (Err(se), Err(pe)) => assert_eq!(
+                        se.to_string(),
+                        pe.to_string(),
+                        "{name} on {mname} with {threads} threads: error diverged"
+                    ),
+                    _ => panic!(
+                        "{name} on {mname} with {threads} threads: outcomes diverged: \
+                         seq={seq:?} par={par:?}"
+                    ),
+                }
+                let par_items: Vec<Vec<Item>> = app2.sinks.iter().map(|(_, h)| h.items()).collect();
+                assert_eq!(
+                    seq_items, par_items,
+                    "{name} on {mname} with {threads} threads: sink items diverged"
+                );
+            }
+        }
     }
 }
 

@@ -12,6 +12,7 @@ use bp_bench::{compile_and_simulate, extract_number, extract_object};
 use bp_compiler::{compile, CompileOptions, MappingKind};
 use bp_sim::{
     run_batch, FunctionalExecutor, ParallelTimedSimulator, SimConfig, SimReport, TimedSimulator,
+    TraceOptions,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -38,12 +39,16 @@ fn median(mut v: Vec<f64>) -> f64 {
 /// window or token set) per wall-clock second of simulation. With
 /// `threads > 1` the sharded parallel engine runs instead (bitwise-identical
 /// report; the fig1b pipeline is one connected component, so this mainly
-/// measures the parallel path's overhead).
-fn bench_timed(threads: usize) -> Throughput {
+/// measures the parallel path's overhead). With `trace` set, event tracing
+/// records into a default-capacity ring during the measurement.
+fn bench_timed(threads: usize, trace: bool) -> Throughput {
     let app = bp_apps::fig1b(bp_apps::BIG, bp_apps::FAST);
     let opts = CompileOptions::default();
     let compiled = compile(&app.graph, &opts).expect("compile fig1b BIG/FAST");
-    let config = SimConfig::new(FRAMES).with_machine(opts.machine);
+    let mut config = SimConfig::new(FRAMES).with_machine(opts.machine);
+    if trace {
+        config = config.with_trace(TraceOptions::default());
+    }
     let mut walls = Vec::with_capacity(SAMPLES);
     let mut firings = 0u64;
     for s in 0..SAMPLES + 2 {
@@ -159,6 +164,7 @@ fn bench_fig13() -> (Vec<SuiteRow>, f64) {
 /// Render one snapshot (baseline or current) as a JSON object.
 fn snapshot_json(
     timed: &Throughput,
+    traced: Option<&Throughput>,
     func: &Throughput,
     rows: &[SuiteRow],
     avg_imp: f64,
@@ -174,6 +180,15 @@ fn snapshot_json(
          \"firings\": {}, \"windows_per_sec\": {:.1} }},",
         timed.wall_ms_median, timed.firings, timed.windows_per_sec
     );
+    if let Some(tr) = traced {
+        let overhead = 100.0 * (tr.wall_ms_median / timed.wall_ms_median.max(1e-9) - 1.0);
+        let _ = writeln!(
+            s,
+            "    \"timed_traced\": {{ \"app\": \"fig1b\", \"wall_ms_median\": {:.3}, \
+             \"windows_per_sec\": {:.1}, \"trace_overhead_pct\": {overhead:.2} }},",
+            tr.wall_ms_median, tr.windows_per_sec
+        );
+    }
     let _ = writeln!(
         s,
         "    \"functional_primary\": {{ \"app\": \"fig1b\", \"dim\": \"40x24\", \"rate_hz\": 200.0, \
@@ -201,6 +216,8 @@ fn snapshot_json(
 fn main() {
     let mut out_path = "BENCH_sim.json".to_string();
     let mut threads = 1usize;
+    let mut trace = false;
+    let mut assert_overhead: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -210,6 +227,14 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--threads needs a positive integer");
             }
+            "--trace" => trace = true,
+            "--assert-overhead" => {
+                assert_overhead = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--assert-overhead needs a percentage"),
+                );
+            }
             other => out_path = other.to_string(),
         }
     }
@@ -218,11 +243,21 @@ fn main() {
         "measuring timed-simulator throughput \
          (fig1b 40x24 @ 200 Hz, {FRAMES} frames, {threads} thread(s))..."
     );
-    let timed = bench_timed(threads);
+    let timed = bench_timed(threads, false);
     println!(
         "  timed: median {:.3} ms, {} firings, {:.0} windows/s",
         timed.wall_ms_median, timed.firings, timed.windows_per_sec
     );
+    let traced = trace.then(|| {
+        println!("measuring timed-simulator throughput with event tracing enabled...");
+        let tr = bench_timed(threads, true);
+        println!(
+            "  traced: median {:.3} ms ({:+.2}% vs untraced)",
+            tr.wall_ms_median,
+            100.0 * (tr.wall_ms_median / timed.wall_ms_median.max(1e-9) - 1.0)
+        );
+        tr
+    });
     println!("measuring functional-executor throughput...");
     let func = bench_functional();
     println!(
@@ -233,7 +268,7 @@ fn main() {
     let (rows, avg_imp) = bench_fig13();
     println!("  fig13 average GM/1:1 utilization improvement: {avg_imp:.2}x");
 
-    let current = snapshot_json(&timed, &func, &rows, avg_imp, threads);
+    let current = snapshot_json(&timed, traced.as_ref(), &func, &rows, avg_imp, threads);
 
     // Keep an existing committed baseline verbatim; otherwise this run is it.
     let previous = std::fs::read_to_string(&out_path).ok();
@@ -263,4 +298,19 @@ fn main() {
     out.push_str("}\n");
     std::fs::write(&out_path, &out).expect("write BENCH_sim.json");
     println!("wrote {out_path} (timed speedup vs baseline: {speedup:.2}x)");
+
+    // CI guard: with tracing compiled in (but disabled for the primary
+    // measurement), throughput must stay within PCT percent of the
+    // committed baseline.
+    if let Some(pct) = assert_overhead {
+        let floor = 1.0 - pct / 100.0;
+        if speedup < floor {
+            eprintln!(
+                "FAIL: timed speedup vs baseline {speedup:.3} is below the \
+                 {floor:.3} floor (--assert-overhead {pct})"
+            );
+            std::process::exit(1);
+        }
+        println!("overhead check passed: speedup {speedup:.3} >= {floor:.3}");
+    }
 }

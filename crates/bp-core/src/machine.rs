@@ -152,8 +152,25 @@ pub struct ShardPlan {
 impl ShardPlan {
     /// Build a plan for `mapping` given the application's channel edges as
     /// `(src_node, dst_node)` pairs (node indices, as in
-    /// [`Mapping::pe_of_node`]).
+    /// [`Mapping::pe_of_node`]). Components are weighted by resident node
+    /// count.
     pub fn build(mapping: &Mapping, node_edges: &[(usize, usize)], max_shards: usize) -> Self {
+        Self::build_weighted(mapping, node_edges, max_shards, &[])
+    }
+
+    /// Like [`build`](Self::build), but weight each node by a measured
+    /// per-node cost — e.g. traced event counts from a profiling pre-run —
+    /// so the LPT balance reflects observed simulation work instead of
+    /// resident-node count. `node_weights[i]` weights node `i`; missing or
+    /// zero entries count as 1 (every component keeps nonzero weight, so
+    /// an all-zero profile degrades to [`build`], not to one shard). An
+    /// empty slice is exactly [`build`].
+    pub fn build_weighted(
+        mapping: &Mapping,
+        node_edges: &[(usize, usize)],
+        max_shards: usize,
+        node_weights: &[u64],
+    ) -> Self {
         let n = mapping.num_pes;
         let mut parent: Vec<usize> = (0..n).collect();
         fn find(parent: &mut [usize], mut x: usize) -> usize {
@@ -172,11 +189,11 @@ impl ShardPlan {
                 parent[hi] = lo;
             }
         }
-        // Components in ascending root order; weight = resident node count
-        // (a proxy for simulation work).
+        // Components in ascending root order; weight = sum of per-node
+        // weights (resident node count when no profile is supplied).
         let mut comp_of_pe = vec![usize::MAX; n];
         let mut comp_pes: Vec<Vec<usize>> = Vec::new();
-        let mut comp_weight: Vec<usize> = Vec::new();
+        let mut comp_weight: Vec<u64> = Vec::new();
         for pe in 0..n {
             let root = find(&mut parent, pe);
             if comp_of_pe[root] == usize::MAX {
@@ -187,8 +204,9 @@ impl ShardPlan {
             comp_of_pe[pe] = comp_of_pe[root];
             comp_pes[comp_of_pe[pe]].push(pe);
         }
-        for &pe in mapping.pe_of_node.iter() {
-            comp_weight[comp_of_pe[pe]] += 1;
+        for (node, &pe) in mapping.pe_of_node.iter().enumerate() {
+            let w = node_weights.get(node).copied().unwrap_or(1).max(1);
+            comp_weight[comp_of_pe[pe]] += w;
         }
         let num_components = comp_pes.len();
         let num_shards = max_shards.clamp(1, num_components.max(1));
@@ -196,7 +214,7 @@ impl ShardPlan {
         // lower indices, so the plan is a pure function of its inputs.
         let mut order: Vec<usize> = (0..num_components).collect();
         order.sort_by(|&a, &b| comp_weight[b].cmp(&comp_weight[a]).then(a.cmp(&b)));
-        let mut shard_load = vec![0usize; num_shards];
+        let mut shard_load = vec![0u64; num_shards];
         let mut shard_of_pe = vec![0usize; n];
         for c in order {
             let shard = (0..num_shards).min_by_key(|&s| (shard_load[s], s)).unwrap();

@@ -1,0 +1,381 @@
+//! Chrome trace-event JSON export for [`Trace`]s, plus a dependency-free
+//! JSON well-formedness checker used by tests and CI smoke steps.
+//!
+//! The exporter emits the subset of the Trace Event Format that Perfetto
+//! (`https://ui.perfetto.dev`) and `chrome://tracing` render natively:
+//!
+//! - PE lanes as *duration* events (`"B"`/`"E"`): one track per PE under
+//!   the `PEs` process, one slice per firing, with method name and charged
+//!   cycles in `args`;
+//! - channel occupancy as *counter* events (`"C"`) under the `channels`
+//!   process, one counter per `Node.port` input queue;
+//! - control-token arrivals and stall transitions as *instant* events
+//!   (`"i"`), tokens on the destination node's PE lane and stalls on the
+//!   stalled PE's lane.
+//!
+//! Timestamps are microseconds of simulated time (the format's native
+//! unit), written with fixed precision so output is deterministic. The
+//! JSON is assembled with the same `writeln!`-into-`String` style the
+//! `bench_json` harness uses — no serializer dependency.
+
+use crate::trace::{Trace, TraceEvent};
+use std::fmt::Write as _;
+
+/// Seconds of simulated time to microseconds, fixed precision (picosecond
+/// resolution — far below one PE cycle on any plausible clock).
+fn us(t: f64) -> String {
+    format!("{:.6}", t * 1e6)
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render `trace` as a Chrome trace-event JSON document.
+///
+/// Load the result in Perfetto or `chrome://tracing`; see EXPERIMENTS.md
+/// for a walkthrough on `camera_bank`.
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let meta = &trace.meta;
+    let mut out = String::new();
+    out.push_str("{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n");
+    let mut events: Vec<String> = Vec::new();
+
+    // Process/thread naming metadata: PEs are threads of process 0,
+    // channel counters live under process 1.
+    events.push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+         \"args\":{\"name\":\"PEs\"}}"
+            .to_string(),
+    );
+    events.push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"channels\"}}"
+            .to_string(),
+    );
+    for pe in 0..meta.num_pes {
+        let residents: Vec<&str> = meta
+            .pe_of_node
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p == pe)
+            .map(|(n, _)| meta.node_names[n].as_str())
+            .collect();
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{pe},\
+             \"args\":{{\"name\":\"PE {pe} [{}]\"}}}}",
+            esc(&residents.join(","))
+        ));
+    }
+
+    let channel = |node: u32, port: u32| {
+        format!(
+            "{}.{}",
+            esc(&meta.node_names[node as usize]),
+            esc(&meta.input_ports[node as usize][port as usize])
+        )
+    };
+    for e in &trace.events {
+        match *e {
+            TraceEvent::FiringBegin {
+                t,
+                node,
+                method,
+                pe,
+                cycles,
+            } => events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"firing\",\"ph\":\"B\",\"ts\":{},\
+                 \"pid\":0,\"tid\":{pe},\"args\":{{\"method\":\"{}\",\"cycles\":{cycles}}}}}",
+                esc(&meta.node_names[node as usize]),
+                us(t),
+                esc(&meta.methods[node as usize][method as usize]),
+            )),
+            TraceEvent::FiringEnd { t, node, pe } => events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"firing\",\"ph\":\"E\",\"ts\":{},\
+                 \"pid\":0,\"tid\":{pe}}}",
+                esc(&meta.node_names[node as usize]),
+                us(t),
+            )),
+            TraceEvent::QueueDepth {
+                t,
+                node,
+                port,
+                depth,
+            } => events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"queue\",\"ph\":\"C\",\"ts\":{},\
+                 \"pid\":1,\"tid\":0,\"args\":{{\"depth\":{depth}}}}}",
+                channel(node, port),
+                us(t),
+            )),
+            TraceEvent::Token {
+                t,
+                node,
+                port,
+                token,
+            } => events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"token\",\"ph\":\"i\",\"ts\":{},\
+                 \"pid\":0,\"tid\":{},\"s\":\"t\",\"args\":{{\"channel\":\"{}\"}}}}",
+                esc(&token.to_string()),
+                us(t),
+                meta.pe_of_node[node as usize],
+                channel(node, port),
+            )),
+            TraceEvent::Stall { t, pe, cause } => events.push(format!(
+                "{{\"name\":\"stall:{}\",\"cat\":\"stall\",\"ph\":\"i\",\"ts\":{},\
+                 \"pid\":0,\"tid\":{pe},\"s\":\"t\"}}",
+                cause.name(),
+                us(t),
+            )),
+        }
+    }
+
+    for (i, e) in events.iter().enumerate() {
+        let sep = if i + 1 < events.len() { "," } else { "" };
+        let _ = writeln!(out, "    {e}{sep}");
+    }
+    let _ = writeln!(
+        out,
+        "  ],\n  \"otherData\": {{\"dropped_events\": {}, \"pe_clock_hz\": {:.1}}}\n}}",
+        trace.dropped, meta.pe_clock_hz
+    );
+    out
+}
+
+/// Check that `src` is one well-formed JSON value (with nothing but
+/// whitespace after it). Returns the byte offset and a message on the
+/// first error. This is a structural validator only — it does not build a
+/// document — and exists so CI can verify exported traces without any
+/// JSON dependency.
+pub fn validate_json(src: &str) -> std::result::Result<(), String> {
+    let b = src.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.i != b.len() {
+        return Err(format!("trailing data at byte {}", p.i));
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, what: &str) -> String {
+        format!("{} at byte {}", what, self.i)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> std::result::Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> std::result::Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> std::result::Result<(), String> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn object(&mut self) -> std::result::Result<(), String> {
+        self.eat(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> std::result::Result<(), String> {
+        self.eat(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> std::result::Result<(), String> {
+        self.eat(b'"')?;
+        while let Some(c) = self.peek() {
+            match c {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                b'\\' => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.i += 1;
+                        }
+                        Some(b'u') => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(h) if h.is_ascii_hexdigit() => self.i += 1,
+                                    _ => return Err(self.err("expected 4 hex digits")),
+                                }
+                            }
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                0x00..=0x1f => return Err(self.err("raw control character in string")),
+                _ => self.i += 1,
+            }
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    fn number(&mut self) -> std::result::Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let digits = |p: &mut Self| -> std::result::Result<(), String> {
+            let start = p.i;
+            while matches!(p.peek(), Some(c) if c.is_ascii_digit()) {
+                p.i += 1;
+            }
+            if p.i == start {
+                Err(p.err("expected digits"))
+            } else {
+                Ok(())
+            }
+        };
+        digits(self)?;
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            digits(self)?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            digits(self)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validator_accepts_wellformed_json() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "-12.5e-3",
+            r#"{"a": [1, 2, {"b": "x\ny", "c": true}], "d": null}"#,
+            "  { \"ts\": 0.125 }  ",
+            r#""é""#,
+        ] {
+            assert!(validate_json(ok).is_ok(), "rejected valid JSON: {ok}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_json() {
+        for bad in [
+            "",
+            "{",
+            "[1, 2,]",
+            "{\"a\" 1}",
+            "{\"a\": 1} extra",
+            "\"unterminated",
+            "01x",
+            "{\"a\": }",
+            "[1 2]",
+            "\"bad\\q\"",
+        ] {
+            assert!(validate_json(bad).is_err(), "accepted invalid JSON: {bad}");
+        }
+    }
+
+    #[test]
+    fn escapes_special_characters() {
+        assert_eq!(esc("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert!(validate_json(&format!("\"{}\"", esc("quote\" back\\ nl\n"))).is_ok());
+    }
+}

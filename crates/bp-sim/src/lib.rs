@@ -20,9 +20,16 @@
 //!   measurement, and real-time verdicts.
 //! - [`parallel`]: a host-side batch runner for simulation sweeps (each
 //!   simulation stays deterministic; only the batch is threaded).
+//! - [`trace`]: deterministic event tracing for both timed engines —
+//!   firings, queue depths, token arrivals, and stall attribution — inert
+//!   with respect to simulation results and bitwise identical between the
+//!   sequential and parallel engines.
+//! - [`chrome`]: Chrome trace-event JSON export (Perfetto-loadable) and a
+//!   dependency-free JSON well-formedness checker.
 
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod events;
 pub mod functional;
 pub mod parallel;
@@ -30,11 +37,14 @@ pub mod runtime;
 pub mod stats;
 pub mod timed;
 pub mod timed_parallel;
+pub mod trace;
 
+pub use chrome::{chrome_trace_json, validate_json};
 pub use events::{BucketQueue, Event, EventQueue, HeapQueue};
 pub use functional::FunctionalExecutor;
 pub use parallel::{run_batch, run_batch_with_workers};
 pub use runtime::{Action, Program, RtNode, SourceRt};
 pub use stats::{PeStats, RealTimeVerdict, SimReport};
 pub use timed::{derive_channel_capacity, SimConfig, TimedSimulator};
-pub use timed_parallel::ParallelTimedSimulator;
+pub use timed_parallel::{profile_node_weights, ParallelTimedSimulator};
+pub use trace::{ChannelHighWater, StallCause, Trace, TraceEvent, TraceMeta, TraceOptions};

@@ -131,30 +131,41 @@ impl SimReport {
             }
         }
         let mut h = Fnv(0xcbf29ce484222325);
+        // Every variable-length field folds its length in first, so data
+        // sliding across the boundary of two adjacent vectors (or two
+        // adjacent strings) can never collide.
+        h.word(self.pe_stats.len() as u64);
         for p in &self.pe_stats {
             h.float(p.run);
             h.float(p.read);
             h.float(p.write);
         }
+        h.word(self.node_firings.len() as u64);
         for &f in &self.node_firings {
             h.word(f);
         }
+        h.word(self.node_busy.len() as u64);
         for &b in &self.node_busy {
             h.float(b);
         }
         h.float(self.sim_time);
         h.word(self.frames_completed as u64);
         h.word(self.residual_items);
+        h.word(self.budget_overruns.len() as u64);
         for &b in &self.budget_overruns {
             h.word(b);
         }
+        h.word(self.node_max_queue.len() as u64);
         for &q in &self.node_max_queue {
             h.word(q as u64);
         }
+        h.word(self.frame_latencies.len() as u64);
         for &l in &self.frame_latencies {
             h.float(l);
         }
+        h.word(self.token_rate_violations.len() as u64);
         for (name, obs, decl) in &self.token_rate_violations {
+            h.word(name.len() as u64);
             for b in name.bytes() {
                 h.byte(b);
             }
@@ -214,6 +225,21 @@ mod tests {
         assert!((read - 0.125).abs() < 1e-12);
         assert!((write - 0.125).abs() < 1e-12);
         assert_eq!(r.num_pes(), 2);
+    }
+
+    /// Moving a value across the boundary of two adjacent vectors must
+    /// change the fingerprint (the length separators at work): without
+    /// them, `node_firings = [1, 2]` and `node_firings = [1]` followed by
+    /// a `node_busy` entry with bit pattern 2 hash the same byte stream.
+    #[test]
+    fn fingerprint_separates_vector_boundaries() {
+        let mut a = report();
+        a.node_firings = vec![1, 2];
+        a.node_busy = vec![];
+        let mut b = report();
+        b.node_firings = vec![1];
+        b.node_busy = vec![f64::from_bits(2)];
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

@@ -33,6 +33,7 @@ use crate::events::{BucketQueue, EventQueue};
 use crate::parallel::DisjointSlots;
 use crate::runtime::{stuck_report, Action, Program, ProgramTables, RtNode};
 use crate::stats::{PeStats, RealTimeVerdict, SimReport};
+use crate::trace::{StallCause, Trace, TraceEvent, TraceMeta, TraceOptions, TraceRecorder};
 use bp_core::graph::AppGraph;
 use bp_core::item::Item;
 use bp_core::kernel::NodeRole;
@@ -52,6 +53,11 @@ pub struct SimConfig {
     pub channel_capacity: Option<usize>,
     /// Frames to push through every application input.
     pub frames: u32,
+    /// Event tracing (`None`, the default, records nothing and adds no
+    /// per-event work beyond a branch). Tracing is *inert*: it cannot
+    /// change the schedule, the [`SimReport`], or its fingerprint — see
+    /// [`crate::trace`].
+    pub trace: Option<TraceOptions>,
 }
 
 impl SimConfig {
@@ -63,6 +69,7 @@ impl SimConfig {
             machine: MachineSpec::default_eval(),
             channel_capacity: None,
             frames,
+            trace: None,
         }
     }
 
@@ -76,6 +83,13 @@ impl SimConfig {
     /// graph.
     pub fn with_channel_capacity(mut self, items: usize) -> Self {
         self.channel_capacity = Some(items);
+        self
+    }
+
+    /// Enable deterministic event tracing; retrieve the [`Trace`] via
+    /// [`TimedSimulator::run_with_trace`] (or the parallel equivalent).
+    pub fn with_trace(mut self, options: TraceOptions) -> Self {
+        self.trace = Some(options);
         self
     }
 }
@@ -136,6 +150,7 @@ pub(crate) struct Shared {
     pub(crate) frames: u32,
     pub(crate) required_rate_hz: f64,
     pub(crate) num_sinks: usize,
+    pub(crate) trace: Option<TraceOptions>,
 }
 
 /// Instantiate `graph` under `mapping` and resolve `config` into the node
@@ -186,6 +201,7 @@ pub(crate) fn build_shared(
         frames: config.frames,
         required_rate_hz,
         num_sinks,
+        trace: config.trace,
     };
     Ok((nodes, shared))
 }
@@ -228,6 +244,7 @@ pub(crate) struct ShardOutcome {
     pub(crate) node_max_queue: Vec<usize>,
     pub(crate) now: f64,
     pub(crate) log: Option<ShardLog>,
+    pub(crate) trace: Option<TraceRecorder>,
 }
 
 /// The discrete-event engine for one shard: a set of PEs (and their resident
@@ -262,6 +279,13 @@ pub(crate) struct ShardSim<'a> {
     budget_overruns: Vec<u64>,
     node_max_queue: Vec<usize>,
     log: Option<ShardLog>,
+    /// Event recorder, present only when [`SimConfig::trace`] is set.
+    /// Recording is read-only with respect to simulation state, so its
+    /// presence cannot perturb the schedule.
+    trace: Option<TraceRecorder>,
+    /// Last recorded stall cause per PE (`None` = running); transitions
+    /// are traced only on change. Unused when tracing is off.
+    pe_stall: Vec<Option<StallCause>>,
     /// True while handling one loggable unit (a const firing or a popped
     /// event); gates push recording so source seeds are not journaled.
     in_entry: bool,
@@ -307,6 +331,8 @@ impl<'a> ShardSim<'a> {
             budget_overruns: vec![0; n],
             node_max_queue: vec![0; n],
             log: record.then(ShardLog::default),
+            trace: shared.trace.map(TraceRecorder::new),
+            pe_stall: vec![None; num_pes],
             in_entry: false,
             entry_push_base: 0,
             entry_eof_base: 0,
@@ -373,6 +399,11 @@ impl<'a> ShardSim<'a> {
     }
 
     fn end_entry(&mut self, t: f64, init: bool) {
+        // The recorder's per-entry counts mirror the journal's entries so
+        // the parallel merge can interleave shard streams in replay order.
+        if let Some(trace) = self.trace.as_mut() {
+            trace.end_entry(init);
+        }
         let (eofs, starts) = (
             (self.sink_eof_times.len() - self.entry_eof_base) as u32,
             (self.frame_start_times.len() - self.entry_start_base) as u32,
@@ -422,11 +453,13 @@ impl<'a> ShardSim<'a> {
                 continue;
             }
             self.begin_entry();
+            self.record_untriggered_begin(node, method);
             let emitted = self.node_mut(node).fire_untriggered(method);
             // The firing may change the node's private state (e.g. a
             // feedback primer becoming ready), so re-plan it.
             self.mark_dirty(node);
             let touched = self.route_timed(node, emitted);
+            self.record_untriggered_end(node);
             self.dispatch_wave(touched);
             self.end_entry(0.0, true);
         }
@@ -460,6 +493,34 @@ impl<'a> ShardSim<'a> {
             node_max_queue: self.node_max_queue,
             now: self.now,
             log: self.log,
+            trace: self.trace,
+        }
+    }
+
+    /// Trace a zero-cost untriggered (source/const) firing: the engine
+    /// charges it no PE time, so it is recorded as a begin/end pair at the
+    /// current instant, bracketing its routing effects.
+    fn record_untriggered_begin(&mut self, node: usize, method: usize) {
+        let (t, pe) = (self.now, self.shared.pe_of_node[node] as u32);
+        if let Some(trace) = self.trace.as_mut() {
+            trace.record(TraceEvent::FiringBegin {
+                t,
+                node: node as u32,
+                method: method as u32,
+                pe,
+                cycles: 0,
+            });
+        }
+    }
+
+    fn record_untriggered_end(&mut self, node: usize) {
+        let (t, pe) = (self.now, self.shared.pe_of_node[node] as u32);
+        if let Some(trace) = self.trace.as_mut() {
+            trace.record(TraceEvent::FiringEnd {
+                t,
+                node: node as u32,
+                pe,
+            });
         }
     }
 
@@ -477,8 +538,10 @@ impl<'a> ShardSim<'a> {
         if full {
             self.violations += 1;
         }
+        self.record_untriggered_begin(s.node, s.method);
         let emitted = self.node_mut(s.node).fire_untriggered(s.method);
         let touched = self.route_timed(s.node, emitted);
+        self.record_untriggered_end(s.node);
         self.dispatch_wave(touched);
 
         self.source_progress[source] += 1;
@@ -498,6 +561,13 @@ impl<'a> ShardSim<'a> {
         self.stats[pe].read += inflight.read_s;
         self.stats[pe].write += inflight.write_s;
         self.node_busy[inflight.node] += inflight.run_s + inflight.read_s + inflight.write_s;
+        if let Some(trace) = self.trace.as_mut() {
+            trace.record(TraceEvent::FiringEnd {
+                t: self.now,
+                node: inflight.node as u32,
+                pe: pe as u32,
+            });
+        }
         let mut touched = self.route_timed(inflight.node, inflight.emitted);
         touched.push(pe);
         self.dispatch_wave(touched);
@@ -528,6 +598,22 @@ impl<'a> ShardSim<'a> {
                 if depth > self.node_max_queue[dn] {
                     self.node_max_queue[dn] = depth;
                 }
+                if let Some(trace) = self.trace.as_mut() {
+                    trace.record(TraceEvent::QueueDepth {
+                        t: self.now,
+                        node: dn as u32,
+                        port: dp as u32,
+                        depth: depth as u32,
+                    });
+                    if let Item::Control(token) = &item {
+                        trace.record(TraceEvent::Token {
+                            t: self.now,
+                            node: dn as u32,
+                            port: dp as u32,
+                            token: *token,
+                        });
+                    }
+                }
                 self.mark_dirty(dn);
                 let pe = self.shared.pe_of_node[dn];
                 if !touched.contains(&pe) {
@@ -554,7 +640,49 @@ impl<'a> ShardSim<'a> {
                     }
                 }
                 // The PE itself is now busy; it will be revisited at PeDone.
+            } else if self.trace.is_some() {
+                self.record_stall(pe);
             }
+        }
+    }
+
+    /// Attribute why `pe` failed to start a firing just now, from pure
+    /// reads of its residents' state. Any resident with a fireable plan
+    /// must have been blocked by `downstream_space` (that is the only way
+    /// `try_start` declines a plan), so back-pressure wins the attribution;
+    /// otherwise queued-but-untriggerable inputs mean the PE is starved,
+    /// and an empty PE is idle.
+    fn stall_cause(&self, pe: usize) -> StallCause {
+        let mut has_items = false;
+        for &node in &self.shared.residents[pe] {
+            if self.shared.node_roles[node] == NodeRole::Source {
+                continue;
+            }
+            let n = self.node(node);
+            if n.plan().is_some() {
+                return StallCause::OutputBlocked;
+            }
+            has_items = has_items || n.queued_items() > 0;
+        }
+        if has_items {
+            StallCause::InputStarved
+        } else {
+            StallCause::Idle
+        }
+    }
+
+    /// Record a stall transition for `pe` if its attributed cause changed
+    /// since the last record. Only called when tracing is enabled.
+    fn record_stall(&mut self, pe: usize) {
+        let cause = self.stall_cause(pe);
+        if self.pe_stall[pe] != Some(cause) {
+            self.pe_stall[pe] = Some(cause);
+            let t = self.now;
+            self.trace.as_mut().unwrap().record(TraceEvent::Stall {
+                t,
+                pe: pe as u32,
+                cause,
+            });
         }
     }
 
@@ -625,6 +753,41 @@ impl<'a> ShardSim<'a> {
                 write_s,
             });
             self.rr[pe] = (idx + 1) % len;
+            self.pe_stall[pe] = None;
+            if self.trace.is_some() {
+                let t = self.now;
+                let mi = match action {
+                    Action::Fire { method } | Action::Forward { method, .. } => method,
+                };
+                // The firing consumed one item from each trigger port;
+                // capture the new depths of those channels before taking
+                // the recorder borrow.
+                let depths: Vec<(u32, u32)> = {
+                    let n = self.node(node);
+                    n.compiled[mi]
+                        .triggers
+                        .iter()
+                        .map(|&(port, _)| (port as u32, n.queues[port].len() as u32))
+                        .collect()
+                };
+                if let Some(trace) = self.trace.as_mut() {
+                    trace.record(TraceEvent::FiringBegin {
+                        t,
+                        node: node as u32,
+                        method: mi as u32,
+                        pe: pe as u32,
+                        cycles,
+                    });
+                    for (port, depth) in depths {
+                        trace.record(TraceEvent::QueueDepth {
+                            t,
+                            node: node as u32,
+                            port,
+                            depth,
+                        });
+                    }
+                }
+            }
             let t_done = self.now + dt;
             self.push_event(t_done, EventKind::PeDone { pe });
             return Some(node);
@@ -648,6 +811,73 @@ impl<'a> ShardSim<'a> {
         }
         true
     }
+}
+
+/// Walk the wait-for graph of a capacity-deadlocked program and render the
+/// cycle of filled channels, by name.
+///
+/// A blocked node (fireable plan, all PEs idle) is waiting on its first
+/// output channel that fails the `downstream_space` check; following those
+/// edges from each blocked node in index order either revisits a node —
+/// the wait-for cycle (in a feedback loop, the channel chain that filled)
+/// — or dead-ends. Pure reads only, and both engines call this on the same
+/// merged node state, so the rendered diagnostic is identical between the
+/// sequential and parallel simulators.
+fn deadlock_wait_cycle(shared: &Shared, nodes: &[RtNode]) -> Option<String> {
+    use std::fmt::Write as _;
+    let n = nodes.len();
+    let blocked: Vec<bool> = (0..n)
+        .map(|i| shared.node_roles[i] != NodeRole::Source && nodes[i].plan().is_some())
+        .collect();
+    // The first full output channel of a blocked node: `(out_port, dst,
+    // dst_port)`. Deterministic because ports and routes scan in order.
+    let wait_edge = |i: usize| -> Option<(usize, usize, usize)> {
+        let method = match nodes[i].plan()? {
+            Action::Fire { method } | Action::Forward { method, .. } => method,
+        };
+        for &port in &nodes[i].compiled[method].outputs {
+            for &(dn, dp) in &shared.tables.routes[i][port] {
+                if nodes[dn].queues[dp].len() + 2 > shared.channel_capacity {
+                    return Some((port, dn, dp));
+                }
+            }
+        }
+        None
+    };
+    for start in (0..n).filter(|&i| blocked[i]) {
+        // `(src, out_port, dst, in_port)` hops from `start`.
+        let mut path: Vec<(usize, usize, usize, usize)> = Vec::new();
+        let mut pos = vec![usize::MAX; n];
+        let mut cur = start;
+        while blocked[cur] && pos[cur] == usize::MAX {
+            let Some((op, dst, ip)) = wait_edge(cur) else {
+                break;
+            };
+            pos[cur] = path.len();
+            path.push((cur, op, dst, ip));
+            cur = dst;
+        }
+        if blocked[cur] && pos[cur] != usize::MAX {
+            let mut s = String::new();
+            for (k, &(src, op, dst, ip)) in path[pos[cur]..].iter().enumerate() {
+                if k > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(
+                    s,
+                    "{}.{} -> {}.{} ({}/{} full)",
+                    nodes[src].name,
+                    nodes[src].spec.outputs[op].name,
+                    nodes[dst].name,
+                    nodes[dst].spec.inputs[ip].name,
+                    nodes[dst].queues[ip].len(),
+                    shared.channel_capacity
+                );
+            }
+            return Some(s);
+        }
+    }
+    None
 }
 
 /// Check the settled program for a capacity deadlock and build the final
@@ -676,11 +906,21 @@ pub(crate) fn assemble_report(
         .any(|i| shared.node_roles[i] != NodeRole::Source && nodes[i].plan().is_some());
     if deadlocked {
         let queued: usize = nodes.iter().map(|n| n.queued_items()).sum();
-        return Err(BpError::Simulation(format!(
-            "capacity deadlock with {} items queued:\n{}",
-            queued,
-            stuck_report(nodes)
-        )));
+        return Err(BpError::Simulation(
+            match deadlock_wait_cycle(shared, nodes) {
+                Some(cycle) => format!(
+                    "capacity deadlock with {} items queued; wait-for cycle: {}\n{}",
+                    queued,
+                    cycle,
+                    stuck_report(nodes)
+                ),
+                None => format!(
+                    "capacity deadlock with {} items queued:\n{}",
+                    queued,
+                    stuck_report(nodes)
+                ),
+            },
+        ));
     }
     let residual: u64 = nodes.iter().map(|n| n.queued_items() as u64).sum();
 
@@ -766,6 +1006,13 @@ impl TimedSimulator {
 
     /// Run the simulation to completion and report.
     pub fn run(self) -> Result<SimReport> {
+        self.run_with_trace().map(|(report, _)| report)
+    }
+
+    /// Run the simulation and also return the recorded [`Trace`] when
+    /// [`SimConfig::trace`] was set (`None` otherwise). The report is
+    /// bit-identical to [`run`](Self::run)'s — tracing is inert.
+    pub fn run_with_trace(self) -> Result<(SimReport, Option<Trace>)> {
         let Self { nodes, shared } = self;
         // One shard owning every PE: the engine runs exactly the schedule
         // documented at the top of this module.
@@ -777,7 +1024,22 @@ impl TimedSimulator {
             sim.into_outcome()
         };
         let nodes = slots.into_inner();
-        assemble_report(
+        // The single shard records in global pop order, so its buffer is
+        // already the canonical trace.
+        let trace = outcome.trace.map(|rec| {
+            let (events, dropped) = rec.into_events();
+            Trace {
+                meta: TraceMeta::from_parts(
+                    &nodes,
+                    &shared.pe_of_node,
+                    shared.residents.len(),
+                    shared.machine.pe_clock_hz,
+                ),
+                events,
+                dropped,
+            }
+        });
+        let report = assemble_report(
             &shared,
             &nodes,
             outcome.stats,
@@ -789,7 +1051,8 @@ impl TimedSimulator {
             &outcome.custom_token_emissions,
             outcome.budget_overruns,
             outcome.node_max_queue,
-        )
+        )?;
+        Ok((report, trace))
     }
 }
 

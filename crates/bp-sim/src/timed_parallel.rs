@@ -38,6 +38,7 @@ use crate::timed::{
     assemble_report, build_shared, LogEntry, ShardLog, ShardOutcome, ShardSim, Shared, SimConfig,
     TimedSimulator,
 };
+use crate::trace::{Trace, TraceEvent, TraceMeta, TraceOptions, TraceRecorder};
 use bp_core::graph::AppGraph;
 use bp_core::machine::{Mapping, ShardPlan};
 use bp_core::Result;
@@ -63,6 +64,31 @@ impl ParallelTimedSimulator {
         config: SimConfig,
         threads: usize,
     ) -> Result<Self> {
+        Self::build(graph, mapping, config, threads, &[])
+    }
+
+    /// Like [`new`](Self::new), but balance shards by per-node profiling
+    /// weights (e.g. traced event counts from
+    /// [`profile_node_weights`]) instead of resident-node counts. The
+    /// weighting changes only which worker runs which component — results
+    /// stay bitwise identical to the sequential engine.
+    pub fn new_weighted(
+        graph: &AppGraph,
+        mapping: &Mapping,
+        config: SimConfig,
+        threads: usize,
+        node_weights: &[u64],
+    ) -> Result<Self> {
+        Self::build(graph, mapping, config, threads, node_weights)
+    }
+
+    fn build(
+        graph: &AppGraph,
+        mapping: &Mapping,
+        config: SimConfig,
+        threads: usize,
+        node_weights: &[u64],
+    ) -> Result<Self> {
         let (nodes, shared) = build_shared(graph, mapping, config)?;
         // Dependency edges carry no runtime traffic, but fold them in
         // anyway: sharding is correctness-critical, and the cost of a
@@ -72,7 +98,7 @@ impl ParallelTimedSimulator {
             .map(|(_, c)| (c.src.node.0, c.dst.node.0))
             .collect();
         edges.extend(graph.dep_edges().iter().map(|d| (d.src.0, d.dst.0)));
-        let plan = ShardPlan::build(mapping, &edges, threads.max(1));
+        let plan = ShardPlan::build_weighted(mapping, &edges, threads.max(1), node_weights);
         Ok(Self {
             nodes,
             shared,
@@ -87,18 +113,28 @@ impl ParallelTimedSimulator {
 
     /// Run the simulation to completion and report.
     pub fn run(self) -> Result<SimReport> {
+        self.run_with_trace().map(|(report, _)| report)
+    }
+
+    /// Run the simulation and also return the merged [`Trace`] when
+    /// [`SimConfig::trace`] was set (`None` otherwise). The per-shard
+    /// streams are interleaved by the journal replay into the global
+    /// `(t, seq)` pop order, so — as long as no ring dropped events — the
+    /// merged trace is bitwise identical to the sequential engine's at any
+    /// thread count.
+    pub fn run_with_trace(self) -> Result<(SimReport, Option<Trace>)> {
         let Self {
             nodes,
             shared,
             plan,
         } = self;
         if plan.num_shards <= 1 {
-            return TimedSimulator::from_parts(nodes, shared).run();
+            return TimedSimulator::from_parts(nodes, shared).run_with_trace();
         }
         let n = nodes.len();
         let num_pes = shared.residents.len();
         let slots = DisjointSlots::new(nodes);
-        let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
+        let mut outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..plan.num_shards)
                 .map(|shard| {
                     let (shared, slots) = (&shared, &slots);
@@ -135,9 +171,31 @@ impl ParallelTimedSimulator {
         // time over all shards (pure selection, no arithmetic).
         let now = outcomes.iter().map(|o| o.now).fold(0.0f64, f64::max);
 
-        let (sink_eof_times, frame_start_times) = replay_merge(&shared, &plan, &outcomes);
+        // Pull the recorders out so the journals (still inside `outcomes`)
+        // and the recorders can be walked together during the replay.
+        let mut recorders: Vec<Option<TraceRecorder>> =
+            outcomes.iter_mut().map(|o| o.trace.take()).collect();
+        let tracing = recorders.iter().any(Option::is_some);
+        let mut merged_events: Vec<TraceEvent> = Vec::new();
+        let (sink_eof_times, frame_start_times) = replay_merge(
+            &shared,
+            &plan,
+            &outcomes,
+            &mut recorders,
+            &mut merged_events,
+        );
+        let trace = tracing.then(|| Trace {
+            meta: TraceMeta::from_parts(
+                &nodes,
+                &shared.pe_of_node,
+                num_pes,
+                shared.machine.pe_clock_hz,
+            ),
+            events: merged_events,
+            dropped: recorders.iter().flatten().map(|r| r.dropped).sum(),
+        });
 
-        assemble_report(
+        let report = assemble_report(
             &shared,
             &nodes,
             stats,
@@ -149,17 +207,40 @@ impl ParallelTimedSimulator {
             &custom_token_emissions,
             budget_overruns,
             node_max_queue,
-        )
+        )?;
+        Ok((report, trace))
     }
 }
 
+/// Run a sequential traced pre-run of `graph` under `mapping` and return
+/// each node's traced event count — the profiling weights for
+/// [`ParallelTimedSimulator::new_weighted`] (ROADMAP: event-rate-aware
+/// shard balancing). The pre-run uses the same configuration as the real
+/// run, so its event distribution is exactly what the parallel run will
+/// execute.
+pub fn profile_node_weights(
+    graph: &AppGraph,
+    mapping: &Mapping,
+    config: SimConfig,
+) -> Result<Vec<u64>> {
+    let config = config.with_trace(TraceOptions::default());
+    let (_, trace) = TimedSimulator::new(graph, mapping, config)?.run_with_trace()?;
+    Ok(trace.expect("tracing was enabled").node_event_counts())
+}
+
 /// Reconstruct the global event pop order from the per-shard journals and
-/// emit the globally-ordered artifacts: sink EOF times and frame start
-/// times, exactly as the sequential simulator would have recorded them.
+/// emit the globally-ordered artifacts: sink EOF times, frame start times,
+/// and (when tracing) the merged trace-event stream, exactly as the
+/// sequential simulator would have recorded them. Each journal entry
+/// carries its shard's trace-event count for that entry, so consuming an
+/// entry also moves that many events from the shard's recorder into
+/// `merged` — interleaving the shard streams in global pop order.
 fn replay_merge(
     shared: &Shared,
     plan: &ShardPlan,
     outcomes: &[ShardOutcome],
+    recorders: &mut [Option<TraceRecorder>],
+    merged: &mut Vec<TraceEvent>,
 ) -> (Vec<f64>, Vec<f64>) {
     let logs: Vec<&ShardLog> = outcomes
         .iter()
@@ -203,6 +284,10 @@ fn replay_merge(
     for &(node, _) in &shared.tables.consts {
         let sh = plan.shard_of_pe[shared.pe_of_node[node]];
         let entry = logs[sh].init[init_idx[sh]];
+        if let Some(rec) = recorders[sh].as_mut() {
+            let count = rec.init_counts[init_idx[sh]];
+            rec.take(count, merged);
+        }
         init_idx[sh] += 1;
         consume(
             sh,
@@ -222,6 +307,10 @@ fn replay_merge(
     while let Some(ev) = heap.pop() {
         let sh = ev.payload;
         let entry = logs[sh].main[main_idx[sh]];
+        if let Some(rec) = recorders[sh].as_mut() {
+            let count = rec.main_counts[main_idx[sh]];
+            rec.take(count, merged);
+        }
         main_idx[sh] += 1;
         debug_assert_eq!(
             entry.t.to_bits(),
@@ -248,6 +337,11 @@ fn replay_merge(
             "shard {sh} journal not fully replayed"
         );
         debug_assert_eq!(push_idx[sh], log.push_times.len());
+        debug_assert_eq!(
+            recorders[sh].as_ref().map_or(0, |r| r.remaining()),
+            0,
+            "shard {sh} trace not fully merged"
+        );
     }
     (eofs, starts)
 }

@@ -1,0 +1,679 @@
+//! Deterministic event tracing for the timed simulators.
+//!
+//! A [`TraceRecorder`] rides inside each [`crate::timed::ShardSim`] and
+//! captures the per-event dynamics the aggregate [`crate::SimReport`]
+//! throws away: firing begin/end per PE, queue-depth changes per channel,
+//! control-token arrivals, and PE stall transitions with cause attribution
+//! ([`StallCause`]). Recording is strictly read-only with respect to the
+//! simulation — every recorded value is computed from state the engine
+//! already produced — so enabling tracing cannot change a single bit of
+//! the `SimReport` (pinned by `tests/trace_determinism.rs`).
+//!
+//! **Determinism across engines.** The sequential engine emits trace
+//! events in global event-pop order, so its buffer *is* the canonical
+//! trace. Each parallel worker records its shard's events in shard-local
+//! pop order plus a per-journal-entry event count; the journal replay
+//! (`timed_parallel::replay_merge`) then interleaves the shard streams in
+//! the reconstructed global `(t, seq)` order, yielding a merged trace
+//! **bitwise identical** to the sequential one at any thread count — as
+//! long as no bounded ring dropped an event ([`Trace::dropped`] is the
+//! check; per-shard drop sets differ by sharding, so a wrapped ring
+//! forfeits cross-engine equality but nothing else).
+//!
+//! On top of the raw stream, [`Trace`] derives the metrics the ROADMAP
+//! items need: per-node event counts (the profiling weights for
+//! [`bp_core::machine::ShardPlan::build_weighted`]), per-channel occupancy
+//! high-water marks, and sliding-window PE utilization. The
+//! [`crate::chrome`] module exports the stream as Chrome trace-event JSON
+//! loadable in Perfetto.
+
+use crate::runtime::RtNode;
+use bp_core::token::ControlToken;
+use std::collections::VecDeque;
+
+/// Why a PE is not executing a firing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StallCause {
+    /// No resident node has any queued input: the PE has nothing to do.
+    Idle,
+    /// Some resident node has queued items but no method's trigger group is
+    /// complete — the PE is waiting for upstream data.
+    InputStarved,
+    /// A resident node could fire right now but a destination queue lacks
+    /// space — the PE is back-pressured by a downstream consumer.
+    OutputBlocked,
+}
+
+impl StallCause {
+    /// Stable short name (used by the Chrome exporter and diagnostics).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StallCause::Idle => "idle",
+            StallCause::InputStarved => "input-starved",
+            StallCause::OutputBlocked => "output-blocked",
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            StallCause::Idle => 0,
+            StallCause::InputStarved => 1,
+            StallCause::OutputBlocked => 2,
+        }
+    }
+}
+
+/// One traced simulator event. Timestamps are simulated seconds; node,
+/// method, port and PE values are the dense indices the engines use, with
+/// names resolved via [`TraceMeta`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A node began a firing on its PE. `cycles` is the charged cycle count
+    /// (actual for data-dependent-cost kernels, declared otherwise); source
+    /// and const firings are recorded with `cycles == 0` and a matching
+    /// [`TraceEvent::FiringEnd`] at the same timestamp, since the engine
+    /// charges them no PE time.
+    FiringBegin {
+        /// Event time in simulated seconds.
+        t: f64,
+        /// Firing node index.
+        node: u32,
+        /// Method index into the node's compiled table.
+        method: u32,
+        /// PE the node is resident on.
+        pe: u32,
+        /// Charged cycle count.
+        cycles: u64,
+    },
+    /// The firing begun by the matching [`TraceEvent::FiringBegin`] on this
+    /// PE completed.
+    FiringEnd {
+        /// Event time in simulated seconds.
+        t: f64,
+        /// Firing node index.
+        node: u32,
+        /// PE the node is resident on.
+        pe: u32,
+    },
+    /// An input queue's depth changed (an item was enqueued or consumed).
+    QueueDepth {
+        /// Event time in simulated seconds.
+        t: f64,
+        /// Owning (destination) node index.
+        node: u32,
+        /// Input port index on that node.
+        port: u32,
+        /// Depth after the change.
+        depth: u32,
+    },
+    /// A control token arrived at an input queue.
+    Token {
+        /// Event time in simulated seconds.
+        t: f64,
+        /// Destination node index.
+        node: u32,
+        /// Input port index on that node.
+        port: u32,
+        /// The token.
+        token: ControlToken,
+    },
+    /// A PE transitioned into a stalled state (recorded only when the
+    /// attributed cause differs from the PE's previous state).
+    Stall {
+        /// Event time in simulated seconds.
+        t: f64,
+        /// The stalled PE.
+        pe: u32,
+        /// Attributed cause.
+        cause: StallCause,
+    },
+}
+
+impl TraceEvent {
+    /// Simulated time of the event.
+    pub fn t(&self) -> f64 {
+        match *self {
+            TraceEvent::FiringBegin { t, .. }
+            | TraceEvent::FiringEnd { t, .. }
+            | TraceEvent::QueueDepth { t, .. }
+            | TraceEvent::Token { t, .. }
+            | TraceEvent::Stall { t, .. } => t,
+        }
+    }
+
+    /// Node the event is attributed to, if any (stalls attribute to a PE).
+    pub fn node(&self) -> Option<u32> {
+        match *self {
+            TraceEvent::FiringBegin { node, .. }
+            | TraceEvent::FiringEnd { node, .. }
+            | TraceEvent::QueueDepth { node, .. }
+            | TraceEvent::Token { node, .. } => Some(node),
+            TraceEvent::Stall { .. } => None,
+        }
+    }
+
+    /// Fold the event into an FNV-1a stream by its exact bit patterns
+    /// (used by [`Trace::digest`]).
+    fn fold(&self, h: &mut Fnv) {
+        match *self {
+            TraceEvent::FiringBegin {
+                t,
+                node,
+                method,
+                pe,
+                cycles,
+            } => {
+                h.byte(0);
+                h.word(t.to_bits());
+                h.word(node as u64);
+                h.word(method as u64);
+                h.word(pe as u64);
+                h.word(cycles);
+            }
+            TraceEvent::FiringEnd { t, node, pe } => {
+                h.byte(1);
+                h.word(t.to_bits());
+                h.word(node as u64);
+                h.word(pe as u64);
+            }
+            TraceEvent::QueueDepth {
+                t,
+                node,
+                port,
+                depth,
+            } => {
+                h.byte(2);
+                h.word(t.to_bits());
+                h.word(node as u64);
+                h.word(port as u64);
+                h.word(depth as u64);
+            }
+            TraceEvent::Token {
+                t,
+                node,
+                port,
+                token,
+            } => {
+                h.byte(3);
+                h.word(t.to_bits());
+                h.word(node as u64);
+                h.word(port as u64);
+                match token {
+                    ControlToken::EndOfLine => h.byte(0),
+                    ControlToken::EndOfFrame => h.byte(1),
+                    ControlToken::Custom(id) => {
+                        h.byte(2);
+                        h.word(id as u64);
+                    }
+                }
+            }
+            TraceEvent::Stall { t, pe, cause } => {
+                h.byte(4);
+                h.word(t.to_bits());
+                h.word(pe as u64);
+                h.byte(cause.tag());
+            }
+        }
+    }
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x100000001b3);
+    }
+    fn word(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+}
+
+/// Tracing configuration carried inside [`crate::SimConfig`].
+#[derive(Clone, Copy, Debug)]
+pub struct TraceOptions {
+    /// Ring capacity in events **per shard**. When a shard's recorder
+    /// fills, the oldest events are dropped (counted in
+    /// [`Trace::dropped`]); a trace with `dropped == 0` is complete and —
+    /// for the parallel engine — bitwise identical to the sequential
+    /// engine's at any thread count.
+    pub capacity: usize,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        // Roughly 50 MB of events; far beyond any bundled app's run, so
+        // default traces never wrap. The cap is a memory safety valve for
+        // long custom simulations.
+        Self { capacity: 1 << 20 }
+    }
+}
+
+impl TraceOptions {
+    /// A ring bounded at `capacity` events per shard.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Self { capacity }
+    }
+}
+
+/// Bounded per-shard event ring, aligned with the journal-entry structure
+/// so the parallel merge can interleave shard streams in replay order.
+pub(crate) struct TraceRecorder {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    /// Events recorded per startup (const-firing) entry, in shard order.
+    pub(crate) init_counts: Vec<u32>,
+    /// Events recorded per popped-event entry, in shard pop order.
+    pub(crate) main_counts: Vec<u32>,
+    /// Events in the currently open entry.
+    cur: u32,
+    /// Oldest events discarded after the ring filled.
+    pub(crate) dropped: u64,
+    /// Trim cursors: first entry whose events may still be in the ring.
+    trim_init: usize,
+    trim_main: usize,
+}
+
+impl TraceRecorder {
+    pub(crate) fn new(opts: TraceOptions) -> Self {
+        Self {
+            capacity: opts.capacity.max(1),
+            events: VecDeque::new(),
+            init_counts: Vec::new(),
+            main_counts: Vec::new(),
+            cur: 0,
+            dropped: 0,
+            trim_init: 0,
+            trim_main: 0,
+        }
+    }
+
+    /// Append one event, dropping the oldest if the ring is full. Dropping
+    /// also decrements the owning (oldest non-empty) entry count so the
+    /// per-entry alignment used by the parallel merge stays exact.
+    pub(crate) fn record(&mut self, ev: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+            loop {
+                if self.trim_init < self.init_counts.len() {
+                    if self.init_counts[self.trim_init] == 0 {
+                        self.trim_init += 1;
+                        continue;
+                    }
+                    self.init_counts[self.trim_init] -= 1;
+                } else if self.trim_main < self.main_counts.len() {
+                    if self.main_counts[self.trim_main] == 0 {
+                        self.trim_main += 1;
+                        continue;
+                    }
+                    self.main_counts[self.trim_main] -= 1;
+                } else {
+                    debug_assert!(self.cur > 0, "dropped event belongs to no entry");
+                    self.cur -= 1;
+                }
+                break;
+            }
+        }
+        self.events.push_back(ev);
+        self.cur += 1;
+    }
+
+    /// Close the current entry (mirrors `ShardSim::end_entry`).
+    pub(crate) fn end_entry(&mut self, init: bool) {
+        if init {
+            self.init_counts.push(self.cur);
+        } else {
+            self.main_counts.push(self.cur);
+        }
+        self.cur = 0;
+    }
+
+    /// Pop the `n` oldest events (the parallel merge consumes entries in
+    /// replay order).
+    pub(crate) fn take(&mut self, n: u32, out: &mut Vec<TraceEvent>) {
+        for _ in 0..n {
+            out.push(self.events.pop_front().expect("trace/journal desync"));
+        }
+    }
+
+    /// Events still in the ring (0 after a complete merge).
+    pub(crate) fn remaining(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Drain the whole ring in recording order (the sequential engine's
+    /// buffer is already globally ordered).
+    pub(crate) fn into_events(self) -> (Vec<TraceEvent>, u64) {
+        (self.events.into_iter().collect(), self.dropped)
+    }
+}
+
+/// Name tables resolving the dense indices in [`TraceEvent`]s, captured
+/// from the instantiated program at trace-assembly time.
+#[derive(Clone, Debug)]
+pub struct TraceMeta {
+    /// Node instance names, indexed by node.
+    pub node_names: Vec<String>,
+    /// Input port names per node.
+    pub input_ports: Vec<Vec<String>>,
+    /// Method names per node.
+    pub methods: Vec<Vec<String>>,
+    /// PE each node is resident on.
+    pub pe_of_node: Vec<usize>,
+    /// Number of PEs in the simulated machine.
+    pub num_pes: usize,
+    /// PE clock, for cycle/second conversions in viewers.
+    pub pe_clock_hz: f64,
+}
+
+impl TraceMeta {
+    pub(crate) fn from_parts(
+        nodes: &[RtNode],
+        pe_of_node: &[usize],
+        num_pes: usize,
+        pe_clock_hz: f64,
+    ) -> Self {
+        Self {
+            node_names: nodes.iter().map(|n| n.name.clone()).collect(),
+            input_ports: nodes
+                .iter()
+                .map(|n| n.spec.inputs.iter().map(|i| i.name.clone()).collect())
+                .collect(),
+            methods: nodes
+                .iter()
+                .map(|n| n.spec.methods.iter().map(|m| m.name.clone()).collect())
+                .collect(),
+            pe_of_node: pe_of_node.to_vec(),
+            num_pes,
+            pe_clock_hz,
+        }
+    }
+}
+
+/// Occupancy high-water mark of one channel (input queue).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChannelHighWater {
+    /// Destination node index.
+    pub node: usize,
+    /// Input port index.
+    pub port: usize,
+    /// Deepest observed queue depth.
+    pub depth: u32,
+    /// First simulated time the high-water mark was reached.
+    pub t: f64,
+}
+
+/// A complete deterministic trace of one timed simulation.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// Index-to-name resolution tables.
+    pub meta: TraceMeta,
+    /// Events in global event-pop order (identical between the sequential
+    /// and parallel engines when `dropped == 0`).
+    pub events: Vec<TraceEvent>,
+    /// Events discarded because a per-shard ring filled. Nonzero drops
+    /// void the cross-engine bitwise-equality guarantee (per-shard rings
+    /// trim different oldest events), but the retained stream is still
+    /// per-shard deterministic.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// FNV-1a digest over every event's exact bit patterns: two traces
+    /// digest equal iff they are bitwise identical.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.word(self.events.len() as u64);
+        for e in &self.events {
+            e.fold(&mut h);
+        }
+        h.0
+    }
+
+    /// Total traced events attributed to each node (firings, queue
+    /// movement, token arrivals). This is the profiling weight the
+    /// event-rate-aware shard planner consumes
+    /// ([`bp_core::machine::ShardPlan::build_weighted`]): a pre-run's
+    /// counts balance shards by observed simulation work instead of
+    /// resident-node count.
+    pub fn node_event_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.meta.node_names.len()];
+        for e in &self.events {
+            if let Some(n) = e.node() {
+                counts[n as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Per-channel occupancy high-water marks, ordered by `(node, port)`.
+    /// `SimReport::node_max_queue` keeps only the per-node max; this adds
+    /// the port and *when* the peak first occurred — the signal a future
+    /// buffer-sizing pass needs.
+    pub fn channel_high_water(&self) -> Vec<ChannelHighWater> {
+        let mut best: Vec<Vec<Option<(u32, f64)>>> = self
+            .meta
+            .input_ports
+            .iter()
+            .map(|ports| vec![None; ports.len()])
+            .collect();
+        for e in &self.events {
+            if let TraceEvent::QueueDepth {
+                t,
+                node,
+                port,
+                depth,
+            } = *e
+            {
+                let slot = &mut best[node as usize][port as usize];
+                match slot {
+                    Some((d, _)) if *d >= depth => {}
+                    _ => *slot = Some((depth, t)),
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for (node, ports) in best.iter().enumerate() {
+            for (port, slot) in ports.iter().enumerate() {
+                if let Some((depth, t)) = *slot {
+                    out.push(ChannelHighWater {
+                        node,
+                        port,
+                        depth,
+                        t,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Busy fraction of each PE over consecutive windows of `window_s`
+    /// simulated seconds: `result[pe][w]` covers
+    /// `[w * window_s, (w + 1) * window_s)`. Derived from firing
+    /// begin/end pairs, so it resolves the within-run utilization
+    /// *timeline* that `SimReport`'s whole-run averages flatten.
+    pub fn pe_utilization(&self, window_s: f64) -> Vec<Vec<f64>> {
+        assert!(window_s > 0.0, "window must be positive");
+        let end = self.events.last().map_or(0.0, |e| e.t());
+        let windows = (end / window_s).floor() as usize + 1;
+        let mut util = vec![vec![0.0f64; windows]; self.meta.num_pes];
+        // Begin/end pairs nest only for the zero-duration source/const
+        // firings recorded while a real firing is in flight on the same
+        // PE, so a per-PE stack pairs them correctly.
+        let mut open: Vec<Vec<f64>> = vec![Vec::new(); self.meta.num_pes];
+        for e in &self.events {
+            match *e {
+                TraceEvent::FiringBegin { t, pe, .. } => open[pe as usize].push(t),
+                TraceEvent::FiringEnd { t, pe, .. } => {
+                    if let Some(t0) = open[pe as usize].pop() {
+                        let (mut w, last) = ((t0 / window_s) as usize, (t / window_s) as usize);
+                        while w <= last.min(windows - 1) {
+                            let lo = t0.max(w as f64 * window_s);
+                            let hi = t.min((w + 1) as f64 * window_s);
+                            util[pe as usize][w] += (hi - lo).max(0.0);
+                            w += 1;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        for row in &mut util {
+            for v in row.iter_mut() {
+                *v /= window_s;
+            }
+        }
+        util
+    }
+
+    /// Number of stall transitions per cause, across all PEs.
+    pub fn stall_counts(&self) -> [(StallCause, u64); 3] {
+        let mut counts = [
+            (StallCause::Idle, 0u64),
+            (StallCause::InputStarved, 0),
+            (StallCause::OutputBlocked, 0),
+        ];
+        for e in &self.events {
+            if let TraceEvent::Stall { cause, .. } = e {
+                counts[cause.tag() as usize].1 += 1;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fb(t: f64, node: u32, pe: u32, cycles: u64) -> TraceEvent {
+        TraceEvent::FiringBegin {
+            t,
+            node,
+            method: 0,
+            pe,
+            cycles,
+        }
+    }
+    fn fe(t: f64, node: u32, pe: u32) -> TraceEvent {
+        TraceEvent::FiringEnd { t, node, pe }
+    }
+
+    fn meta(nodes: usize, pes: usize) -> TraceMeta {
+        TraceMeta {
+            node_names: (0..nodes).map(|i| format!("n{i}")).collect(),
+            input_ports: vec![vec!["in".into()]; nodes],
+            methods: vec![vec!["run".into()]; nodes],
+            pe_of_node: (0..nodes).map(|i| i % pes).collect(),
+            num_pes: pes,
+            pe_clock_hz: 1e6,
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let mut r = TraceRecorder::new(TraceOptions::with_capacity(2));
+        r.record(fb(0.0, 0, 0, 1));
+        r.end_entry(true);
+        r.record(fb(1.0, 1, 0, 1));
+        r.record(fb(2.0, 2, 0, 1));
+        r.end_entry(false);
+        assert_eq!(r.dropped, 1);
+        // The init entry's event was trimmed away.
+        assert_eq!(r.init_counts, vec![0]);
+        assert_eq!(r.main_counts, vec![2]);
+        let (events, dropped) = r.into_events();
+        assert_eq!(dropped, 1);
+        assert_eq!(events, vec![fb(1.0, 1, 0, 1), fb(2.0, 2, 0, 1)]);
+    }
+
+    #[test]
+    fn digest_detects_any_change() {
+        let t = Trace {
+            meta: meta(2, 1),
+            events: vec![fb(0.0, 0, 0, 5), fe(5e-6, 0, 0)],
+            dropped: 0,
+        };
+        let mut t2 = t.clone();
+        let d = t.digest();
+        assert_eq!(d, t2.digest());
+        t2.events[0] = fb(0.0, 0, 0, 6);
+        assert_ne!(d, t2.digest());
+    }
+
+    #[test]
+    fn node_event_counts_attribute_per_node() {
+        let t = Trace {
+            meta: meta(3, 1),
+            events: vec![
+                fb(0.0, 0, 0, 1),
+                fe(1e-6, 0, 0),
+                TraceEvent::QueueDepth {
+                    t: 1e-6,
+                    node: 1,
+                    port: 0,
+                    depth: 1,
+                },
+                TraceEvent::Stall {
+                    t: 1e-6,
+                    pe: 0,
+                    cause: StallCause::Idle,
+                },
+            ],
+            dropped: 0,
+        };
+        assert_eq!(t.node_event_counts(), vec![2, 1, 0]);
+        assert_eq!(t.stall_counts()[0].1, 1);
+    }
+
+    #[test]
+    fn channel_high_water_tracks_first_peak() {
+        let q = |t: f64, depth: u32| TraceEvent::QueueDepth {
+            t,
+            node: 1,
+            port: 0,
+            depth,
+        };
+        let t = Trace {
+            meta: meta(2, 1),
+            events: vec![q(1.0, 1), q(2.0, 3), q(3.0, 3), q(4.0, 2)],
+            dropped: 0,
+        };
+        let hw = t.channel_high_water();
+        assert_eq!(hw.len(), 1);
+        assert_eq!(
+            hw[0],
+            ChannelHighWater {
+                node: 1,
+                port: 0,
+                depth: 3,
+                t: 2.0,
+            }
+        );
+    }
+
+    #[test]
+    fn pe_utilization_windows_split_firings() {
+        // One firing spanning [0.5, 2.5) over 1-second windows on PE 0.
+        let t = Trace {
+            meta: meta(1, 2),
+            events: vec![fb(0.5, 0, 0, 1), fe(2.5, 0, 0)],
+            dropped: 0,
+        };
+        let u = t.pe_utilization(1.0);
+        assert_eq!(u.len(), 2);
+        assert_eq!(u[0].len(), 3);
+        assert!((u[0][0] - 0.5).abs() < 1e-12);
+        assert!((u[0][1] - 1.0).abs() < 1e-12);
+        assert!((u[0][2] - 0.5).abs() < 1e-12);
+        assert!(u[1].iter().all(|&v| v == 0.0));
+    }
+}

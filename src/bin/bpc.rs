@@ -22,15 +22,18 @@ struct Args {
     mapping: MappingKind,
     frames: u32,
     dot: Option<String>,
+    trace: Option<String>,
     quiet: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bpc --app <fig1b|bayer|histogram|buffer-test|multi-conv|edge|fir|iir|analytics|stereo>\n\
+        "usage: bpc --app <fig1b|bayer|histogram|buffer-test|multi-conv|edge|fir|iir|analytics|stereo|camera-bank>\n\
          \x20          [--width N] [--height N] [--rate HZ] [--frames N]\n\
          \x20          [--policy trim|pad-zero|pad-mirror] [--mapping greedy|packed|one-to-one]\n\
-         \x20          [--dot FILE] [--quiet]"
+         \x20          [--dot FILE] [--trace FILE] [--quiet]\n\
+         \x20  --trace FILE  record a deterministic event trace and write it as\n\
+         \x20                Chrome trace-event JSON (open in https://ui.perfetto.dev)"
     );
     std::process::exit(2);
 }
@@ -45,6 +48,7 @@ fn parse_args() -> Args {
         mapping: MappingKind::Greedy,
         frames: 3,
         dot: None,
+        trace: None,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -84,6 +88,7 @@ fn parse_args() -> Args {
                 }
             }
             "--dot" => args.dot = Some(value("--dot")),
+            "--trace" => args.trace = Some(value("--trace")),
             "--quiet" => args.quiet = true,
             "--help" | "-h" => usage(),
             other => {
@@ -111,6 +116,7 @@ fn build_app(args: &Args) -> Option<apps::App> {
         "iir" => apps::temporal_iir(dim, args.rate),
         "analytics" => apps::analytics(dim, args.rate),
         "stereo" => apps::stereo_diff(dim, args.rate),
+        "camera-bank" => apps::camera_bank(4, dim, args.rate),
         _ => return None,
     })
 }
@@ -148,14 +154,14 @@ fn main() -> ExitCode {
         }
     }
 
-    let sim = TimedSimulator::new(
-        &compiled.graph,
-        &compiled.mapping,
-        SimConfig::new(args.frames).with_machine(opts.machine),
-    )
-    .and_then(|s| s.run());
+    let mut config = SimConfig::new(args.frames).with_machine(opts.machine);
+    if args.trace.is_some() {
+        config = config.with_trace(TraceOptions::default());
+    }
+    let sim = TimedSimulator::new(&compiled.graph, &compiled.mapping, config)
+        .and_then(|s| s.run_with_trace());
     match sim {
-        Ok(report) => {
+        Ok((report, trace)) => {
             let (run, read, write) = report.utilization_breakdown();
             println!(
                 "real-time {}: required {:.1} Hz, achieved {:.1} Hz, {} violations, \
@@ -174,6 +180,11 @@ fn main() -> ExitCode {
                 100.0 * write,
                 report.num_pes()
             );
+            if let (Some(path), Some(trace)) = (&args.trace, trace) {
+                if let Err(code) = write_trace(path, &trace, args.quiet) {
+                    return code;
+                }
+            }
             if report.verdict.met {
                 ExitCode::SUCCESS
             } else {
@@ -185,4 +196,45 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Export `trace` as Chrome trace-event JSON at `path`, validating the
+/// document before writing and printing a stall/occupancy summary.
+fn write_trace(path: &str, trace: &Trace, quiet: bool) -> Result<(), ExitCode> {
+    let json = chrome_trace_json(trace);
+    if let Err(e) = validate_json(&json) {
+        eprintln!("internal error: exported trace is not well-formed JSON: {e}");
+        return Err(ExitCode::FAILURE);
+    }
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("failed to write {path}: {e}");
+        return Err(ExitCode::FAILURE);
+    }
+    if !quiet {
+        let stalls = trace.stall_counts();
+        let stall_txt: Vec<String> = stalls
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(c, n)| format!("{} x{}", c.name(), n))
+            .collect();
+        println!(
+            "wrote {path}: {} events ({} dropped), stall transitions: {}",
+            trace.events.len(),
+            trace.dropped,
+            if stall_txt.is_empty() {
+                "none".to_string()
+            } else {
+                stall_txt.join(", ")
+            }
+        );
+        let mut hw = trace.channel_high_water();
+        hw.sort_by(|a, b| b.depth.cmp(&a.depth).then(a.node.cmp(&b.node)));
+        for c in hw.iter().take(3) {
+            println!(
+                "  high-water: {}.{} reached {} items at t={:.6}s",
+                trace.meta.node_names[c.node], trace.meta.input_ports[c.node][c.port], c.depth, c.t
+            );
+        }
+    }
+    Ok(())
 }

@@ -54,5 +54,9 @@ pub mod prelude {
         pattern_source, replicate, scale, sink, sobel, split_rr, subtract, threshold, uniform_bins,
         Margins, PadMode, SinkHandle,
     };
-    pub use bp_sim::{FunctionalExecutor, SimConfig, SimReport, TimedSimulator};
+    pub use bp_sim::{
+        chrome_trace_json, profile_node_weights, validate_json, FunctionalExecutor,
+        ParallelTimedSimulator, SimConfig, SimReport, StallCause, TimedSimulator, Trace,
+        TraceOptions,
+    };
 }

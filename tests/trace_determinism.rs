@@ -1,0 +1,291 @@
+//! Determinism and inertness tests for the tracing subsystem.
+//!
+//! Two guarantees are pinned here, across every example application:
+//!
+//! 1. **Tracing is inert**: enabling it changes nothing about the
+//!    simulation — the `SimReport` fingerprint with tracing on equals the
+//!    fingerprint with tracing off (and a deadlocking app produces the
+//!    identical error either way).
+//! 2. **The trace is engine-independent**: the parallel engine's merged
+//!    trace is *bitwise identical* to the sequential engine's at 1, 2, 4,
+//!    and 8 threads (journal-replay interleaving, DESIGN.md §10), with no
+//!    ring drops at the default capacity.
+
+use bp_apps::{apps, App, SLOW, SMALL};
+use bp_compiler::{compile, CompileOptions};
+use bp_core::Dim2;
+use bp_sim::{
+    chrome_trace_json, profile_node_weights, validate_json, ParallelTimedSimulator, SimConfig,
+    SimReport, TimedSimulator, Trace, TraceOptions,
+};
+
+const FRAMES: u32 = 2;
+
+/// Every example application, by name (kept in sync with
+/// `tests/determinism.rs`).
+const EXAMPLE_APPS: &[&str] = &[
+    "fig1b",
+    "bayer",
+    "histogram",
+    "parallel_buffer",
+    "multi_conv",
+    "temporal_iir",
+    "fir_radio",
+    "edge_detect",
+    "analytics",
+    "stereo_diff",
+    "camera_bank",
+];
+
+fn build_example(name: &str) -> App {
+    match name {
+        "fig1b" => apps::fig1b(SMALL, SLOW),
+        "bayer" => apps::bayer(SMALL, SLOW),
+        "histogram" => apps::histogram_app(SMALL, SLOW, 32),
+        "parallel_buffer" => apps::parallel_buffer_test(Dim2::new(64, 12), 10.0),
+        "multi_conv" => apps::multi_conv(SMALL, SLOW, 3),
+        "temporal_iir" => apps::temporal_iir(SMALL, SLOW),
+        "fir_radio" => apps::fir_radio(72, 100.0),
+        "edge_detect" => apps::edge_detect(SMALL, SLOW, 0.5),
+        "analytics" => apps::analytics(SMALL, SLOW),
+        "stereo_diff" => apps::stereo_diff(SMALL, SLOW),
+        "camera_bank" => apps::camera_bank(3, SMALL, SLOW),
+        _ => unreachable!("unknown app {name}"),
+    }
+}
+
+fn run_sequential(name: &str, trace: bool) -> bp_core::Result<(SimReport, Option<Trace>)> {
+    let app = build_example(name);
+    let compiled = compile(&app.graph, &CompileOptions::default()).expect("compile");
+    let mut config = SimConfig::new(FRAMES);
+    if trace {
+        config = config.with_trace(TraceOptions::default());
+    }
+    TimedSimulator::new(&compiled.graph, &compiled.mapping, config)
+        .expect("instantiate")
+        .run_with_trace()
+}
+
+fn run_parallel(name: &str, threads: usize) -> bp_core::Result<(SimReport, Option<Trace>)> {
+    let app = build_example(name);
+    let compiled = compile(&app.graph, &CompileOptions::default()).expect("compile");
+    let config = SimConfig::new(FRAMES).with_trace(TraceOptions::default());
+    ParallelTimedSimulator::new(&compiled.graph, &compiled.mapping, config, threads)
+        .expect("instantiate")
+        .run_with_trace()
+}
+
+/// Tracing must not perturb the simulation: for every app, the report
+/// fingerprint with tracing enabled equals the report fingerprint with
+/// tracing disabled (and errors, if any, are identical).
+#[test]
+fn tracing_is_inert_on_every_app() {
+    for &name in EXAMPLE_APPS {
+        let plain = run_sequential(name, false);
+        let traced = run_sequential(name, true);
+        match (&plain, &traced) {
+            (Ok((p, p_trace)), Ok((t, t_trace))) => {
+                assert!(p_trace.is_none(), "{name}: trace returned while disabled");
+                let trace = t_trace.as_ref().expect("trace returned while enabled");
+                assert_eq!(
+                    p.fingerprint(),
+                    t.fingerprint(),
+                    "{name}: enabling tracing changed the SimReport"
+                );
+                assert_eq!(trace.dropped, 0, "{name}: default ring wrapped");
+                assert!(!trace.events.is_empty(), "{name}: empty trace");
+            }
+            (Err(pe), Err(te)) => assert_eq!(
+                pe.to_string(),
+                te.to_string(),
+                "{name}: enabling tracing changed the error"
+            ),
+            _ => panic!("{name}: tracing changed the outcome: {plain:?} vs {traced:?}"),
+        }
+    }
+}
+
+/// The parallel engine's merged trace is bitwise identical to the
+/// sequential engine's, at every thread count. (Apps that deadlock return
+/// an error from both engines; error equality is pinned in
+/// `tests/determinism.rs`.)
+#[test]
+fn parallel_trace_is_bitwise_identical_to_sequential() {
+    for &name in EXAMPLE_APPS {
+        let Ok((seq_report, seq_trace)) = run_sequential(name, true) else {
+            continue;
+        };
+        let seq_trace = seq_trace.expect("tracing enabled");
+        assert_eq!(seq_trace.dropped, 0, "{name}: sequential ring wrapped");
+        for threads in [1usize, 2, 4, 8] {
+            let (par_report, par_trace) =
+                run_parallel(name, threads).expect("parallel run should match sequential");
+            let par_trace = par_trace.expect("tracing enabled");
+            assert_eq!(
+                seq_report.fingerprint(),
+                par_report.fingerprint(),
+                "{name} at {threads} threads: SimReport diverged"
+            );
+            assert_eq!(par_trace.dropped, 0, "{name}: parallel ring wrapped");
+            assert_eq!(
+                seq_trace.events, par_trace.events,
+                "{name} at {threads} threads: merged trace is not bitwise \
+                 identical to the sequential trace"
+            );
+            assert_eq!(
+                seq_trace.digest(),
+                par_trace.digest(),
+                "{name} at {threads} threads: trace digests diverged"
+            );
+        }
+    }
+}
+
+/// The upgraded capacity-deadlock diagnostic names the feedback channel
+/// cycle that filled, identically on both engines.
+#[test]
+fn deadlock_error_names_the_feedback_cycle() {
+    let seq_err = run_sequential("temporal_iir", false)
+        .expect_err("temporal_iir capacity-deadlocks at SMALL/SLOW")
+        .to_string();
+    assert!(
+        seq_err.contains("wait-for cycle:"),
+        "deadlock error lost the cycle diagnostic: {seq_err}"
+    );
+    for channel in [
+        "Mix.out -> Half.in",
+        "Half.out -> FrameDelay.in",
+        "FrameDelay.out -> Mix.in1",
+    ] {
+        assert!(
+            seq_err.contains(channel),
+            "cycle diagnostic missing channel '{channel}': {seq_err}"
+        );
+    }
+    for threads in [2usize, 8] {
+        let par_err = run_parallel("temporal_iir", threads)
+            .expect_err("parallel engine must also deadlock")
+            .to_string();
+        assert_eq!(seq_err, par_err, "engines' deadlock diagnostics diverged");
+    }
+}
+
+/// The Chrome exporter produces well-formed JSON (checked by the in-tree
+/// validator) with one duration pair per traced firing.
+#[test]
+fn chrome_export_is_wellformed_json() {
+    let (_, trace) = run_sequential("fig1b", true).expect("fig1b runs");
+    let trace = trace.expect("tracing enabled");
+    let json = chrome_trace_json(&trace);
+    validate_json(&json).expect("exported trace must be well-formed JSON");
+    let begins = json.matches("\"ph\":\"B\"").count();
+    let ends = json.matches("\"ph\":\"E\"").count();
+    assert_eq!(begins, ends, "unbalanced duration events");
+    assert!(begins > 0, "no firing slices exported");
+    assert!(json.contains("\"ph\":\"C\""), "no counter tracks exported");
+}
+
+/// Derived metrics are self-consistent: every traced event is attributed,
+/// utilization stays within [0, 1], and high-water marks agree with the
+/// report's per-node queue maxima.
+#[test]
+fn derived_metrics_are_consistent() {
+    let (report, trace) = run_sequential("fig1b", true).expect("fig1b runs");
+    let trace = trace.expect("tracing enabled");
+    let counts = trace.node_event_counts();
+    assert_eq!(counts.len(), trace.meta.node_names.len());
+    assert!(counts.iter().sum::<u64>() > 0);
+    for row in trace.pe_utilization(0.005) {
+        for u in row {
+            assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization out of range");
+        }
+    }
+    for hw in trace.channel_high_water() {
+        assert!(
+            (hw.depth as usize) <= report.node_max_queue[hw.node],
+            "trace high-water exceeds the report's max queue depth"
+        );
+    }
+}
+
+/// Event-weighted sharding (profiling pre-run -> `new_weighted`) may pick
+/// a different component placement but must not change results by a bit.
+#[test]
+fn weighted_shard_plan_preserves_results() {
+    let app = build_example("camera_bank");
+    let compiled = compile(&app.graph, &CompileOptions::default()).expect("compile");
+    let config = SimConfig::new(FRAMES);
+    let weights =
+        profile_node_weights(&compiled.graph, &compiled.mapping, config).expect("profile");
+    assert_eq!(weights.len(), compiled.graph.node_count());
+    assert!(weights.iter().sum::<u64>() > 0, "profile saw no events");
+
+    let baseline = TimedSimulator::new(&compiled.graph, &compiled.mapping, config)
+        .expect("instantiate")
+        .run()
+        .expect("run");
+    for threads in [2usize, 4] {
+        let app2 = build_example("camera_bank");
+        let compiled2 = compile(&app2.graph, &CompileOptions::default()).expect("compile");
+        let sim = ParallelTimedSimulator::new_weighted(
+            &compiled2.graph,
+            &compiled2.mapping,
+            config,
+            threads,
+            &weights,
+        )
+        .expect("instantiate");
+        let report = sim.run().expect("run");
+        assert_eq!(
+            baseline.fingerprint(),
+            report.fingerprint(),
+            "weighted sharding at {threads} threads changed the report"
+        );
+    }
+}
+
+/// A tiny ring still yields a valid (truncated) trace: drops are counted
+/// and the report is untouched.
+#[test]
+fn bounded_ring_truncates_without_perturbing_results() {
+    let app = build_example("fig1b");
+    let compiled = compile(&app.graph, &CompileOptions::default()).expect("compile");
+    let config = SimConfig::new(FRAMES).with_trace(TraceOptions::with_capacity(64));
+    let (report, trace) = TimedSimulator::new(&compiled.graph, &compiled.mapping, config)
+        .expect("instantiate")
+        .run_with_trace()
+        .expect("run");
+    let trace = trace.expect("tracing enabled");
+    assert_eq!(trace.events.len(), 64, "ring should be at capacity");
+    assert!(
+        trace.dropped > 0,
+        "a 64-event ring must have dropped events"
+    );
+    let (baseline, _) = run_sequential("fig1b", false).expect("fig1b runs");
+    assert_eq!(
+        baseline.fingerprint(),
+        report.fingerprint(),
+        "ring truncation perturbed the simulation"
+    );
+}
+
+/// Golden report fingerprints at the reference test configuration
+/// (SMALL/SLOW, 2 frames, default machine). Recorded after the
+/// length-separated fingerprint fix; any change to simulation semantics
+/// or to the fingerprint encoding must update these deliberately.
+#[test]
+fn report_fingerprints_match_golden() {
+    const GOLDEN: &[(&str, u64)] = &[
+        ("fig1b", 0x3fd7b8fa22f4f7fe),
+        ("edge_detect", 0x5d384e84264b7f0a),
+    ];
+    for &(name, want) in GOLDEN {
+        let (report, _) = run_sequential(name, false).expect("runs");
+        assert_eq!(
+            report.fingerprint(),
+            want,
+            "{name}: report fingerprint drifted (got {:#018x})",
+            report.fingerprint()
+        );
+    }
+}

@@ -11,8 +11,8 @@
 use bp_bench::{compile_and_simulate, extract_number, extract_object};
 use bp_compiler::{compile, CompileOptions, MappingKind};
 use bp_sim::{
-    run_batch, FunctionalExecutor, ParallelTimedSimulator, SimConfig, SimReport, TimedSimulator,
-    TraceOptions,
+    run_batch, CommModel, FunctionalExecutor, ParallelTimedSimulator, SimConfig, SimReport,
+    TimedSimulator, TraceOptions,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -54,12 +54,12 @@ fn bench_timed(threads: usize, trace: bool) -> Throughput {
     for s in 0..SAMPLES + 2 {
         let t0 = Instant::now();
         let report = if threads > 1 {
-            ParallelTimedSimulator::new(&compiled.graph, &compiled.mapping, config, threads)
+            ParallelTimedSimulator::new(&compiled.graph, &compiled.mapping, config.clone(), threads)
                 .expect("instantiate")
                 .run()
                 .expect("run")
         } else {
-            TimedSimulator::new(&compiled.graph, &compiled.mapping, config)
+            TimedSimulator::new(&compiled.graph, &compiled.mapping, config.clone())
                 .expect("instantiate")
                 .run()
                 .expect("run")
@@ -79,6 +79,81 @@ fn bench_timed(threads: usize, trace: bool) -> Throughput {
         wall_ms_median: wall * 1e3,
         firings,
         windows_per_sec: firings as f64 / wall,
+    }
+}
+
+/// Comm-model measurement: fig1b (one connected component) under a uniform
+/// nonzero inter-PE latency, sequential vs lookahead-parallel.
+struct CommBench {
+    latency_cycles: f64,
+    seq_wall_ms: f64,
+    par_wall_ms: f64,
+    threads: usize,
+    shards: usize,
+    windows: u64,
+    lookahead_s: f64,
+}
+
+/// Measure the delay-model engines on fig1b with a uniform per-hop latency.
+/// fig1b is a single connected component, so under the zero model the
+/// parallel engine degrades to sequential; the positive latency is exactly
+/// what lets it shard — `shards > 1` here is the lookahead working. Panics
+/// if the parallel fingerprint diverges from the sequential one.
+fn bench_comm(threads: usize) -> CommBench {
+    let app = bp_apps::fig1b(bp_apps::BIG, bp_apps::FAST);
+    let opts = CompileOptions::default();
+    let compiled = compile(&app.graph, &opts).expect("compile fig1b BIG/FAST");
+    let latency_cycles = 64.0;
+    let comm = CommModel::uniform(latency_cycles / opts.machine.pe_clock_hz, 0.0);
+    let config = SimConfig::new(FRAMES)
+        .with_machine(opts.machine)
+        .with_comm(comm);
+    let threads = threads.max(2);
+    let mut seq_walls = Vec::with_capacity(SAMPLES);
+    let mut par_walls = Vec::with_capacity(SAMPLES);
+    let (mut shards, mut windows, mut lookahead_s) = (0usize, 0u64, 0.0f64);
+    for s in 0..SAMPLES + 2 {
+        let t0 = Instant::now();
+        let report = TimedSimulator::new(&compiled.graph, &compiled.mapping, config.clone())
+            .expect("instantiate")
+            .run()
+            .expect("run");
+        let wall = t0.elapsed().as_secs_f64();
+        let seq_fp = report.fingerprint();
+        if s >= 2 {
+            seq_walls.push(wall * 1e3);
+        }
+        let t0 = Instant::now();
+        let (report, _, stats) = ParallelTimedSimulator::new(
+            &compiled.graph,
+            &compiled.mapping,
+            config.clone(),
+            threads,
+        )
+        .expect("instantiate")
+        .run_with_stats()
+        .expect("run");
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            report.fingerprint(),
+            seq_fp,
+            "comm-model parallel fingerprint diverged from sequential"
+        );
+        shards = stats.shards;
+        windows = stats.windows;
+        lookahead_s = stats.lookahead_s;
+        if s >= 2 {
+            par_walls.push(wall * 1e3);
+        }
+    }
+    CommBench {
+        latency_cycles,
+        seq_wall_ms: median(seq_walls),
+        par_wall_ms: median(par_walls),
+        threads,
+        shards,
+        windows,
+        lookahead_s,
     }
 }
 
@@ -166,6 +241,7 @@ fn snapshot_json(
     timed: &Throughput,
     traced: Option<&Throughput>,
     func: &Throughput,
+    comm: &CommBench,
     rows: &[SuiteRow],
     avg_imp: f64,
     threads: usize,
@@ -195,6 +271,20 @@ fn snapshot_json(
          \"frames\": {FRAMES}, \"samples\": {SAMPLES}, \"wall_ms_median\": {:.3}, \
          \"firings\": {}, \"windows_per_sec\": {:.1} }},",
         func.wall_ms_median, func.firings, func.windows_per_sec
+    );
+    let _ = writeln!(
+        s,
+        "    \"comm_model\": {{ \"app\": \"fig1b\", \"model\": \"uniform\", \
+         \"latency_cycles\": {:.1}, \"seq_wall_ms_median\": {:.3}, \
+         \"par_wall_ms_median\": {:.3}, \"threads\": {}, \"shards\": {}, \
+         \"windows\": {}, \"lookahead_s\": {:.6e} }},",
+        comm.latency_cycles,
+        comm.seq_wall_ms,
+        comm.par_wall_ms,
+        comm.threads,
+        comm.shards,
+        comm.windows,
+        comm.lookahead_s
     );
     s.push_str("    \"fig13\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -264,11 +354,25 @@ fn main() {
         "  functional: median {:.3} ms, {} firings, {:.0} windows/s",
         func.wall_ms_median, func.firings, func.windows_per_sec
     );
+    println!("measuring comm-model engines (fig1b, uniform latency, seq vs par)...");
+    let comm = bench_comm(threads);
+    println!(
+        "  comm: seq {:.3} ms, par {:.3} ms on {} shard(s), {} window(s)",
+        comm.seq_wall_ms, comm.par_wall_ms, comm.shards, comm.windows
+    );
     println!("running Fig. 13 suite (22 parallel simulations)...");
     let (rows, avg_imp) = bench_fig13();
     println!("  fig13 average GM/1:1 utilization improvement: {avg_imp:.2}x");
 
-    let current = snapshot_json(&timed, traced.as_ref(), &func, &rows, avg_imp, threads);
+    let current = snapshot_json(
+        &timed,
+        traced.as_ref(),
+        &func,
+        &comm,
+        &rows,
+        avg_imp,
+        threads,
+    );
 
     // Keep an existing committed baseline verbatim; otherwise this run is it.
     let previous = std::fs::read_to_string(&out_path).ok();

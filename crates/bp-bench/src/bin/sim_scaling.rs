@@ -87,9 +87,13 @@ fn main() {
         let mut walls = Vec::with_capacity(samples);
         let mut shards = 0usize;
         for s in 0..samples + 2 {
-            let sim =
-                ParallelTimedSimulator::new(&compiled.graph, &compiled.mapping, config, threads)
-                    .expect("instantiate");
+            let sim = ParallelTimedSimulator::new(
+                &compiled.graph,
+                &compiled.mapping,
+                config.clone(),
+                threads,
+            )
+            .expect("instantiate");
             shards = sim.num_shards();
             let t0 = Instant::now();
             let report = sim.run().expect("run");

@@ -9,7 +9,7 @@
 use crate::dataflow::Dataflow;
 use bp_core::graph::AppGraph;
 use bp_core::machine::Mapping;
-use bp_core::Rng64;
+use bp_core::{CommModel, Rng64};
 
 /// A placement of PEs on a rectangular mesh.
 #[derive(Clone, Debug)]
@@ -31,6 +31,35 @@ impl Placement {
             return 0.0;
         }
         1.0 - self.cost / self.initial_cost
+    }
+
+    /// A grid [`CommModel`] bound to this placement's coordinates: each
+    /// inter-PE message pays `base_latency_s + per_hop_s × Manhattan hops`
+    /// on the annealed layout (plus `per_word_s` serialization). This is
+    /// the bridge from the placement pass to the timed simulators — the
+    /// same distance the annealer minimized becomes the delay the
+    /// simulation charges.
+    pub fn comm_model(&self, base_latency_s: f64, per_hop_s: f64, per_word_s: f64) -> CommModel {
+        CommModel::grid(base_latency_s, per_hop_s, per_word_s).with_coords(self.coords.clone())
+    }
+
+    /// Aggregate latency cost of this placement under `model`: Σ over
+    /// inter-PE channel traffic of words/s × per-message latency. Unlike
+    /// the annealing objective (pure traffic × distance), this weighs hops
+    /// by the model's actual seconds-per-hop, so alternative placements
+    /// can be compared in simulated-latency terms.
+    pub fn latency_cost(&self, traffic: &[Vec<f64>], model: &CommModel) -> f64 {
+        let m = model.clone().with_coords(self.coords.clone());
+        let n = self.coords.len();
+        let mut cost = 0.0;
+        for (i, row) in traffic.iter().enumerate() {
+            for (j, w) in row.iter().enumerate() {
+                if *w > 0.0 && i != j {
+                    cost += *w * m.channel_latency_s(i, j, n);
+                }
+            }
+        }
+        cost
     }
 }
 
@@ -213,6 +242,56 @@ mod tests {
             p.initial_cost
         );
         assert!(p.improvement() > 0.0);
+    }
+
+    #[test]
+    fn comm_model_inherits_annealed_coordinates() {
+        let g = chain(14);
+        let df = analyze(&g).unwrap();
+        let m = map_one_to_one(&g);
+        let p = place_annealed(&g, &df, &m, &AnnealConfig::default());
+        let model = p.comm_model(1e-6, 2e-7, 0.0);
+        assert_eq!(model.coords.as_deref(), Some(p.coords.as_slice()));
+        // Hop counts must agree with the placement's own Manhattan metric
+        // for every PE pair, so the simulator charges exactly the distance
+        // the annealer optimized.
+        let n = m.num_pes;
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(
+                    model.hops(i, j, n) as f64,
+                    manhattan(p.coords[i], p.coords[j]),
+                    "hop mismatch for PE pair ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn latency_cost_tracks_annealing_cost_for_pure_hop_models() {
+        // With base = 0 and per_word = 0, the latency cost is per_hop ×
+        // (traffic × distance) = per_hop × annealing cost, so a better
+        // placement under the annealer is better under the comm model too.
+        let g = chain(14);
+        let df = analyze(&g).unwrap();
+        let m = map_one_to_one(&g);
+        let traffic = traffic_matrix(&g, &df, &m);
+        let p = place_annealed(&g, &df, &m, &AnnealConfig::default());
+        let per_hop = 3e-8;
+        let model = CommModel::grid(0.0, per_hop, 0.0);
+        let got = p.latency_cost(&traffic, &model);
+        assert!((got - per_hop * p.cost).abs() <= 1e-9 * per_hop * p.cost.max(1.0));
+        // Row-major initial layout must cost at least as much.
+        let side = (m.num_pes as f64).sqrt().ceil() as u32;
+        let row_major = Placement {
+            mesh: p.mesh,
+            coords: (0..m.num_pes as u32)
+                .map(|i| (i % side, i / side))
+                .collect(),
+            cost: p.initial_cost,
+            initial_cost: p.initial_cost,
+        };
+        assert!(row_major.latency_cost(&traffic, &model) >= got - 1e-12);
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub use kernel::{
     BehaviorFactory, Emitter, FireData, KernelBehavior, KernelDef, KernelSpec, NodeRole,
     Parallelism, ShapeTransform,
 };
-pub use machine::{MachineSpec, Mapping, ShardPlan};
+pub use machine::{CommModel, CommProfile, MachineSpec, Mapping, ShardPlan};
 pub use method::{MethodCost, MethodSpec, Trigger, TriggerOn};
 pub use port::{InputSpec, OutputSpec};
 pub use rng::Rng64;

@@ -78,6 +78,158 @@ impl Default for MachineSpec {
     }
 }
 
+/// Configurable inter-PE communication delay model.
+///
+/// The paper's timed simulator assumes a zero-delay network (§IV-D); this
+/// model adds the three terms a mesh-style many-core actually charges:
+///
+/// * a **base latency** per message between distinct PEs,
+/// * a **per-hop** term scaled by the Manhattan distance between the PEs'
+///   grid coordinates (placement-aware when [`coords`](Self::coords) is
+///   set, otherwise a row-major square mesh is derived from the PE count),
+/// * a **per-word serialization** cost: each item occupies its link for
+///   `words * per_word_s`, delaying both its own arrival and the next
+///   item's departure (store-and-forward).
+///
+/// Two nodes mapped to the *same* PE exchange data through local memory,
+/// which the per-firing word costs already charge, so their channel
+/// latency is zero. [`CommModel::zero`] (the `Default`) disables the model
+/// entirely and reproduces the paper's original semantics bit for bit.
+///
+/// A positive minimum latency is also what gives the parallel simulator
+/// *lookahead*: events cannot affect another PE sooner than the channel
+/// latency, so shards may safely advance that far without synchronizing.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct CommModel {
+    /// Seconds of latency charged to every inter-PE message.
+    pub base_latency_s: f64,
+    /// Seconds of link occupancy per word of payload (bandwidth term).
+    pub per_word_s: f64,
+    /// Additional seconds per grid hop between the two PEs.
+    pub per_hop_s: f64,
+    /// Optional per-PE grid coordinates (from a placement); when absent,
+    /// hop counts come from a derived row-major square mesh.
+    pub coords: Option<Vec<(u32, u32)>>,
+}
+
+impl CommModel {
+    /// The zero-delay network of the paper: all latencies are 0 and both
+    /// timed engines behave exactly as they did without a model.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Distance-independent model: every inter-PE message takes
+    /// `base_latency_s` plus its serialization time.
+    pub fn uniform(base_latency_s: f64, per_word_s: f64) -> Self {
+        Self {
+            base_latency_s,
+            per_word_s,
+            ..Self::default()
+        }
+    }
+
+    /// Grid model: `base_latency_s + per_hop_s * hops` per message, with
+    /// hops the Manhattan distance on the PE grid.
+    pub fn grid(base_latency_s: f64, per_hop_s: f64, per_word_s: f64) -> Self {
+        Self {
+            base_latency_s,
+            per_word_s,
+            per_hop_s,
+            ..Self::default()
+        }
+    }
+
+    /// Attach explicit PE grid coordinates (e.g. from an annealed
+    /// placement) for the per-hop term.
+    pub fn with_coords(mut self, coords: Vec<(u32, u32)>) -> Self {
+        self.coords = Some(coords);
+        self
+    }
+
+    /// True when the model can never delay anything (every latency is 0).
+    pub fn is_zero(&self) -> bool {
+        self.base_latency_s <= 0.0 && self.per_word_s <= 0.0 && self.per_hop_s <= 0.0
+    }
+
+    /// Manhattan hop count between two PEs: explicit coordinates when
+    /// provided, else positions in a derived row-major square mesh of
+    /// `ceil(sqrt(num_pes))` columns.
+    pub fn hops(&self, src_pe: usize, dst_pe: usize, num_pes: usize) -> u32 {
+        let at = |pe: usize| -> (u32, u32) {
+            if let Some(coords) = &self.coords {
+                if let Some(&c) = coords.get(pe) {
+                    return c;
+                }
+            }
+            let w = (num_pes.max(1) as f64).sqrt().ceil() as usize;
+            ((pe % w) as u32, (pe / w) as u32)
+        };
+        let (sx, sy) = at(src_pe);
+        let (dx, dy) = at(dst_pe);
+        sx.abs_diff(dx) + sy.abs_diff(dy)
+    }
+
+    /// Latency in seconds for one message from `src_pe` to `dst_pe`
+    /// (excluding serialization): 0 on the same PE, otherwise
+    /// `base + per_hop * hops`.
+    pub fn channel_latency_s(&self, src_pe: usize, dst_pe: usize, num_pes: usize) -> f64 {
+        if src_pe == dst_pe {
+            return 0.0;
+        }
+        let lat = self.base_latency_s + self.per_hop_s * self.hops(src_pe, dst_pe, num_pes) as f64;
+        lat.max(0.0)
+    }
+
+    /// Calibrate a distance-independent model from traced channel-dwell
+    /// statistics ([`CommProfile`]): the base latency is the *minimum*
+    /// observed push-to-consume dwell — the fastest hand-off the traced
+    /// run achieved, so the calibrated model never claims a link faster
+    /// than anything actually measured, and stays conservative as a
+    /// parallel-simulation lookahead. An empty profile yields
+    /// [`CommModel::zero`].
+    pub fn from_profile(profile: &CommProfile) -> Self {
+        if profile.samples == 0 {
+            return Self::zero();
+        }
+        Self::uniform(profile.min_dwell_s.max(0.0), 0.0)
+    }
+}
+
+/// Aggregate push-to-consume dwell statistics for inter-PE channels,
+/// collected from a deterministic trace (`Trace::comm_profile` in bp-sim)
+/// and folded into measured latency constants by
+/// [`CommModel::from_profile`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CommProfile {
+    /// Number of matched push/consume pairs.
+    pub samples: u64,
+    /// Smallest observed dwell in seconds.
+    pub min_dwell_s: f64,
+    /// Sum of observed dwells in seconds (for the mean).
+    pub sum_dwell_s: f64,
+}
+
+impl CommProfile {
+    /// Fold one observed dwell into the aggregate.
+    pub fn push(&mut self, dwell_s: f64) {
+        if self.samples == 0 || dwell_s < self.min_dwell_s {
+            self.min_dwell_s = dwell_s;
+        }
+        self.samples += 1;
+        self.sum_dwell_s += dwell_s;
+    }
+
+    /// Mean dwell over all samples (0 when empty).
+    pub fn mean_dwell_s(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum_dwell_s / self.samples as f64
+        }
+    }
+}
+
 /// Assignment of graph nodes to processing elements.
 ///
 /// Produced by the multiplexing pass (§V): either the naive 1:1 mapping or
@@ -289,6 +441,55 @@ mod tests {
         // LPT: 3 -> shard0, 2 -> shard1, 1 -> shard1, 1 -> shard0.
         assert_eq!(plan.shard_of_pe, vec![0, 1, 1, 0]);
         assert_eq!(plan, ShardPlan::build(&m, &[], 2));
+    }
+
+    #[test]
+    fn zero_model_is_zero_everywhere() {
+        let m = CommModel::zero();
+        assert!(m.is_zero());
+        assert_eq!(m.channel_latency_s(0, 5, 9), 0.0);
+        assert_eq!(m, CommModel::default());
+    }
+
+    #[test]
+    fn uniform_model_charges_base_between_distinct_pes_only() {
+        let m = CommModel::uniform(2e-6, 1e-7);
+        assert!(!m.is_zero());
+        assert_eq!(
+            m.channel_latency_s(3, 3, 16),
+            0.0,
+            "same PE is local memory"
+        );
+        assert_eq!(m.channel_latency_s(0, 15, 16), 2e-6);
+        assert_eq!(m.channel_latency_s(15, 0, 16), 2e-6);
+    }
+
+    #[test]
+    fn grid_model_uses_derived_mesh_and_explicit_coords() {
+        let m = CommModel::grid(1e-6, 5e-7, 0.0);
+        // 9 PEs -> 3x3 row-major mesh; PE 0 = (0,0), PE 8 = (2,2).
+        assert_eq!(m.hops(0, 8, 9), 4);
+        assert_eq!(m.channel_latency_s(0, 8, 9), 1e-6 + 4.0 * 5e-7);
+        assert_eq!(m.channel_latency_s(0, 1, 9), 1e-6 + 5e-7);
+        // Explicit coordinates override the derived mesh.
+        let m = m.with_coords(vec![(0, 0), (7, 0)]);
+        assert_eq!(m.hops(0, 1, 2), 7);
+    }
+
+    #[test]
+    fn profile_calibration_uses_min_dwell() {
+        let mut p = CommProfile::default();
+        assert_eq!(CommModel::from_profile(&p), CommModel::zero());
+        p.push(4e-6);
+        p.push(2e-6);
+        p.push(6e-6);
+        assert_eq!(p.samples, 3);
+        assert_eq!(p.min_dwell_s, 2e-6);
+        assert!((p.mean_dwell_s() - 4e-6).abs() < 1e-18);
+        let m = CommModel::from_profile(&p);
+        assert_eq!(m.base_latency_s, 2e-6);
+        assert_eq!(m.per_hop_s, 0.0);
+        assert_eq!(m.per_word_s, 0.0);
     }
 
     #[test]

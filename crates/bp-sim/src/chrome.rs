@@ -9,6 +9,9 @@
 //!   cycles in `args`;
 //! - channel occupancy as *counter* events (`"C"`) under the `channels`
 //!   process, one counter per `Node.port` input queue;
+//! - in-flight items on delayed channels (nonzero comm model) as counter
+//!   events under the `network` process, one counter per channel, stepped
+//!   up at each send and down at each arrival;
 //! - control-token arrivals and stall transitions as *instant* events
 //!   (`"i"`), tokens on the destination node's PE lane and stalls on the
 //!   stalled PE's lane.
@@ -68,6 +71,17 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
          \"args\":{\"name\":\"channels\"}}"
             .to_string(),
     );
+    if trace
+        .events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::CommSend { .. }))
+    {
+        events.push(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,\
+             \"args\":{\"name\":\"network\"}}"
+                .to_string(),
+        );
+    }
     for pe in 0..meta.num_pes {
         let residents: Vec<&str> = meta
             .pe_of_node
@@ -90,6 +104,17 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
             esc(&meta.input_ports[node as usize][port as usize])
         )
     };
+    // Per-channel in-flight occupancy, stepped while scanning (the event
+    // stream is in global time order).
+    let wire_name = |chan: u32| {
+        let c = &meta.channels[chan as usize];
+        format!(
+            "{} -> {}",
+            esc(&meta.node_names[c.src_node as usize]),
+            channel(c.dst_node, c.dst_port)
+        )
+    };
+    let mut in_flight = vec![0i64; meta.channels.len()];
     for e in &trace.events {
         match *e {
             TraceEvent::FiringBegin {
@@ -141,6 +166,26 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
                 cause.name(),
                 us(t),
             )),
+            TraceEvent::CommSend { t, chan, words, .. } => {
+                in_flight[chan as usize] += 1;
+                events.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"network\",\"ph\":\"C\",\"ts\":{},\
+                     \"pid\":2,\"tid\":0,\"args\":{{\"in_flight\":{},\"words\":{words}}}}}",
+                    wire_name(chan),
+                    us(t),
+                    in_flight[chan as usize],
+                ));
+            }
+            TraceEvent::CommArrival { t, chan } => {
+                in_flight[chan as usize] -= 1;
+                events.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"network\",\"ph\":\"C\",\"ts\":{},\
+                     \"pid\":2,\"tid\":0,\"args\":{{\"in_flight\":{}}}}}",
+                    wire_name(chan),
+                    us(t),
+                    in_flight[chan as usize],
+                ));
+            }
         }
     }
 

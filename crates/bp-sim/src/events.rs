@@ -34,6 +34,16 @@ pub trait EventQueue<P> {
     /// Insert an event at time `t`; later insertions at the same `t` pop
     /// later.
     fn push(&mut self, t: f64, payload: P);
+    /// Insert an event with an explicit, caller-assigned ordering key
+    /// instead of the internal insertion counter. The queue's counter is
+    /// not advanced, so `push` ordering among counter-keyed events is
+    /// unaffected. Used for two purposes: re-inserting a popped event
+    /// unchanged (windowed execution), and *cross-engine deterministic*
+    /// keys for communication events — the delay model keys channel
+    /// arrivals and credit returns by `(1 << 63) | stream | sequence`,
+    /// which sorts after every counter-keyed event at the same time and
+    /// identically in the sequential and parallel engines.
+    fn push_ord(&mut self, t: f64, ord: u64, payload: P);
     /// Remove and return the earliest event (smallest `(t, seq)`).
     fn pop(&mut self) -> Option<Event<P>>;
     /// Number of pending events.
@@ -105,6 +115,14 @@ impl<P> EventQueue<P> for HeapQueue<P> {
         self.heap.push(HeapEntry {
             t,
             seq: self.seq,
+            payload,
+        });
+    }
+
+    fn push_ord(&mut self, t: f64, ord: u64, payload: P) {
+        self.heap.push(HeapEntry {
+            t,
+            seq: ord,
             payload,
         });
     }
@@ -262,6 +280,17 @@ impl<P> EventQueue<P> for BucketQueue<P> {
         });
     }
 
+    fn push_ord(&mut self, t: f64, ord: u64, payload: P) {
+        let key = self.quantize(t).max(self.cur_key);
+        self.len += 1;
+        self.store(BucketEntry {
+            t,
+            seq: ord,
+            key,
+            payload,
+        });
+    }
+
     fn pop(&mut self) -> Option<Event<P>> {
         if self.len == 0 {
             return None;
@@ -385,6 +414,36 @@ mod tests {
         // overflow path and day migration.
         let deltas = [0.5e-6, 3.0e-3, 9.0e-3, 2.0e-2];
         differential(1.0e-6, &deltas, 7, 1500);
+    }
+
+    #[test]
+    fn push_ord_orders_after_counter_events_at_same_time() {
+        // Counter-keyed (band-0) events at time t pop before any explicitly
+        // keyed (band-1) event at the same t, and band-1 events order by
+        // their explicit keys — identically in both implementations.
+        const BAND1: u64 = 1 << 63;
+        let mut bucket: BucketQueue<u32> = BucketQueue::new(1e-6);
+        let mut heap: HeapQueue<u32> = HeapQueue::new();
+        for q in [
+            &mut bucket as &mut dyn EventQueue<u32>,
+            &mut heap as &mut dyn EventQueue<u32>,
+        ] {
+            q.push_ord(2e-6, BAND1 | (7 << 32) | 1, 10);
+            q.push(2e-6, 0);
+            q.push_ord(2e-6, BAND1 | (3 << 32) | 9, 11);
+            q.push(1e-6, 1);
+            q.push(2e-6, 2);
+        }
+        let order = |q: &mut dyn EventQueue<u32>| {
+            let mut v = Vec::new();
+            while let Some(e) = q.pop() {
+                v.push(e.payload);
+            }
+            v
+        };
+        let b = order(&mut bucket);
+        assert_eq!(b, vec![1, 0, 2, 11, 10]);
+        assert_eq!(b, order(&mut heap));
     }
 
     #[test]

@@ -8,12 +8,15 @@
 //!   used for correctness testing).
 //! - [`timed`]: the timing-accurate functional simulator of §IV-D, modeling
 //!   kernel execution cycles, per-word input read / output write time,
-//!   channel capacity, per-PE time multiplexing and scheduling — but not
-//!   placement/communication delay, matching the paper's simplification.
+//!   channel capacity, per-PE time multiplexing and scheduling, plus a
+//!   configurable inter-PE communication delay model
+//!   ([`bp_core::CommModel`]; the zero default matches the paper's
+//!   no-delay simplification bit for bit).
 //! - [`timed_parallel`]: the same timed semantics executed across worker
-//!   threads — independent PE interaction regions simulate concurrently and
-//!   their event journals are merged by replay, so the report is bitwise
-//!   identical to [`timed`]'s (DESIGN.md §9).
+//!   threads — independent PE interaction regions simulate concurrently,
+//!   delayed channels give conservative lookahead *within* a region, and
+//!   the event journals are merged by replay, so the report is bitwise
+//!   identical to [`timed`]'s (DESIGN.md §9, §11).
 //! - [`events`]: the pending-event queues (calendar queue + binary-heap
 //!   reference) shared by the timed engines.
 //! - [`stats`]: per-PE utilization (run/read/write breakdown), throughput
@@ -39,6 +42,7 @@ pub mod timed;
 pub mod timed_parallel;
 pub mod trace;
 
+pub use bp_core::{CommModel, CommProfile};
 pub use chrome::{chrome_trace_json, validate_json};
 pub use events::{BucketQueue, Event, EventQueue, HeapQueue};
 pub use functional::FunctionalExecutor;
@@ -46,5 +50,7 @@ pub use parallel::{run_batch, run_batch_with_workers};
 pub use runtime::{Action, Program, RtNode, SourceRt};
 pub use stats::{PeStats, RealTimeVerdict, SimReport};
 pub use timed::{derive_channel_capacity, SimConfig, TimedSimulator};
-pub use timed_parallel::{profile_node_weights, ParallelTimedSimulator};
-pub use trace::{ChannelHighWater, StallCause, Trace, TraceEvent, TraceMeta, TraceOptions};
+pub use timed_parallel::{profile_node_weights, ParallelRunStats, ParallelTimedSimulator};
+pub use trace::{
+    ChannelHighWater, StallCause, Trace, TraceChannel, TraceEvent, TraceMeta, TraceOptions,
+};

@@ -4,8 +4,17 @@
 //! input reads and output writes), channel buffering (bounded queues, one
 //! iteration of implicit buffering per port plus configurable slack), and
 //! per-PE scheduling (round-robin time multiplexing of resident kernels).
-//! Placement and communication delays are *not* modeled, matching the
-//! paper's simplification for throughput-oriented applications.
+//! Inter-PE communication delay is configurable via
+//! [`SimConfig::with_comm`]: under the default [`CommModel::zero`] the
+//! engine reproduces the paper's zero-delay network bit for bit, while a
+//! nonzero model turns each cross-PE channel push into a *delayed arrival
+//! event* (base latency + per-hop distance + per-word serialization)
+//! scheduled through the ordinary calendar queue. Delayed channels use
+//! sender-side credit flow control: capacity is checked against a local
+//! credit counter instead of the receiver's queue, and consuming a delayed
+//! item schedules a credit-return event after the same latency — so no
+//! send-time decision ever reads receiver state, which is what gives the
+//! parallel engine its conservative lookahead (DESIGN.md §11).
 //!
 //! Application inputs inject samples on a strict schedule derived from their
 //! declared rate; an injection that finds a full queue is recorded as a
@@ -37,15 +46,37 @@ use crate::trace::{StallCause, Trace, TraceEvent, TraceMeta, TraceOptions, Trace
 use bp_core::graph::AppGraph;
 use bp_core::item::Item;
 use bp_core::kernel::NodeRole;
-use bp_core::machine::{MachineSpec, Mapping};
+use bp_core::machine::{CommModel, MachineSpec, Mapping};
 use bp_core::token::ControlToken;
 use bp_core::{BpError, Result};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Band-1 marker bit for explicit event ordinals (see [`EventQueue::push_ord`]):
+/// communication events (arrivals, credit returns) sort after band-0 events
+/// (source emissions, PE completions) at equal timestamps, and among
+/// themselves by `(stream, sequence)` — both assigned at *creation* time, so
+/// the order is identical however the events reach the queue (locally pushed
+/// or delivered through a parallel shard inbox).
+pub(crate) const BAND1: u64 = 1 << 63;
+
+/// Build the band-1 ordinal for communication stream `stream` (2·chan for
+/// arrivals, 2·chan+1 for credit returns — each owned by exactly one shard)
+/// at per-stream sequence number `seq`.
+#[inline]
+pub(crate) fn band1_ord(stream: u64, seq: u32) -> u64 {
+    BAND1 | (stream << 32) | seq as u64
+}
 
 /// Timed simulation parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SimConfig {
     /// Target machine.
     pub machine: MachineSpec,
+    /// Inter-PE communication delay model. The default, [`CommModel::zero`],
+    /// delivers cross-PE pushes in the same cycle (the paper's §IV-D
+    /// simplification) and reproduces every pre-model result bit for bit.
+    pub comm: CommModel,
     /// Capacity of each input queue in items. `None` (the default) derives
     /// the capacity from the graph being simulated — see
     /// [`derive_channel_capacity`]; [`with_channel_capacity`](Self::with_channel_capacity)
@@ -67,6 +98,7 @@ impl SimConfig {
     pub fn new(frames: u32) -> Self {
         Self {
             machine: MachineSpec::default_eval(),
+            comm: CommModel::zero(),
             channel_capacity: None,
             frames,
             trace: None,
@@ -76,6 +108,12 @@ impl SimConfig {
     /// Use a specific machine.
     pub fn with_machine(mut self, machine: MachineSpec) -> Self {
         self.machine = machine;
+        self
+    }
+
+    /// Use a specific inter-PE communication delay model.
+    pub fn with_comm(mut self, comm: CommModel) -> Self {
+        self.comm = comm;
         self
     }
 
@@ -126,6 +164,55 @@ pub(crate) enum EventKind {
         /// Global PE index.
         pe: usize,
     },
+    /// An in-flight item reaches the head of a delayed channel's wire and
+    /// lands in the destination queue. Band-1: ordinal `2·chan`, sequenced
+    /// by the sender.
+    ChannelArrival {
+        /// Runtime channel index (into [`Shared::channels`]).
+        chan: u32,
+    },
+    /// A consumed delayed item's buffer slot becomes visible to the sender
+    /// again. Band-1: ordinal `2·chan + 1`, sequenced by the receiver.
+    CreditReturn {
+        /// Runtime channel index (into [`Shared::channels`]).
+        chan: u32,
+    },
+}
+
+/// Resolved per-channel communication parameters. `latency_s > 0` marks the
+/// channel *delayed*: pushes become [`EventKind::ChannelArrival`] events and
+/// capacity is enforced by sender-side credits. Channels between nodes on
+/// the same PE are always direct (local memory), whatever the model.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ChannelRt {
+    pub(crate) src: usize,
+    pub(crate) src_port: usize,
+    pub(crate) dst: usize,
+    pub(crate) dst_port: usize,
+    /// One-way flight time of an item; 0 means direct same-cycle delivery.
+    pub(crate) latency_s: f64,
+    /// Serialization cost per payload word (store-and-forward: items on one
+    /// channel serialize behind each other at this rate).
+    pub(crate) ser_per_word_s: f64,
+}
+
+/// Payload of a cross-shard communication message.
+pub(crate) enum MsgKind {
+    /// An item entering the destination shard's wire.
+    Arrival(Item),
+    /// A buffer credit returning to the source shard.
+    Credit,
+}
+
+/// A communication event crossing shards in the parallel engine, delivered
+/// through per-shard inboxes between synchronization windows. `(t, ord)`
+/// fully determine its queue position, so inbox delivery order is
+/// irrelevant to the schedule.
+pub(crate) struct OutMsg {
+    pub(crate) t: f64,
+    pub(crate) ord: u64,
+    pub(crate) chan: u32,
+    pub(crate) kind: MsgKind,
 }
 
 struct Inflight {
@@ -141,7 +228,23 @@ struct Inflight {
 pub(crate) struct Shared {
     pub(crate) tables: ProgramTables,
     /// Distinct upstream producer nodes per node (for dispatch waves).
+    /// Covers *direct* channels only: a delayed channel's producer is
+    /// re-dispatched by its [`EventKind::CreditReturn`] instead, so freeing
+    /// space synchronously never reaches across a delayed (possibly
+    /// cross-shard) edge.
     pub(crate) upstream: Vec<Vec<usize>>,
+    /// Every graph channel with its resolved communication parameters, in
+    /// graph channel-slot order.
+    pub(crate) channels: Vec<ChannelRt>,
+    /// `chan_into[node][in_port]` is the channel feeding that port (graph
+    /// validation guarantees at most one).
+    pub(crate) chan_into: Vec<Vec<Option<u32>>>,
+    /// Per node, the `(in_port, chan)` pairs fed by *delayed* channels —
+    /// the ports whose consumption must return credits.
+    pub(crate) delayed_in_ports: Vec<Vec<(usize, u32)>>,
+    /// True when any channel is delayed; false short-circuits every
+    /// comm-model branch so the zero model costs one load per routing fan-out.
+    pub(crate) any_delayed: bool,
     pub(crate) pe_of_node: Vec<usize>,
     pub(crate) residents: Vec<Vec<usize>>,
     pub(crate) node_roles: Vec<NodeRole>,
@@ -173,10 +276,42 @@ pub(crate) fn build_shared(
     let program = Program::instantiate(graph)?;
     let (nodes, tables) = program.split();
     let n = nodes.len();
-    let mut upstream = vec![Vec::new(); n];
+    // Resolve every channel's communication parameters once. Same-PE
+    // channels are local memory (latency 0) regardless of the model.
+    let mut channels = Vec::new();
+    let mut chan_into: Vec<Vec<Option<u32>>> =
+        nodes.iter().map(|rt| vec![None; rt.queues.len()]).collect();
+    let mut delayed_in_ports = vec![Vec::new(); n];
     for (_, c) in graph.channels() {
-        if !upstream[c.dst.node.0].contains(&c.src.node.0) {
-            upstream[c.dst.node.0].push(c.src.node.0);
+        let (src, dst) = (c.src.node.0, c.dst.node.0);
+        let latency_s = config.comm.channel_latency_s(
+            mapping.pe_of_node[src],
+            mapping.pe_of_node[dst],
+            mapping.num_pes,
+        );
+        let delayed = latency_s > 0.0;
+        let (src_port, dst_port) = (c.src.port, c.dst.port);
+        let chan = channels.len() as u32;
+        channels.push(ChannelRt {
+            src,
+            src_port,
+            dst,
+            dst_port,
+            latency_s,
+            ser_per_word_s: if delayed { config.comm.per_word_s } else { 0.0 },
+        });
+        chan_into[dst][dst_port] = Some(chan);
+        if delayed {
+            delayed_in_ports[dst].push((dst_port, chan));
+        }
+    }
+    let any_delayed = channels.iter().any(|c| c.latency_s > 0.0);
+    // Dispatch waves walk upstream over direct channels only; delayed
+    // producers are woken by credit returns instead.
+    let mut upstream = vec![Vec::new(); n];
+    for c in &channels {
+        if c.latency_s <= 0.0 && !upstream[c.dst].contains(&c.src) {
+            upstream[c.dst].push(c.src);
         }
     }
     let node_roles: Vec<NodeRole> = nodes.iter().map(|rt| rt.spec.role).collect();
@@ -193,6 +328,10 @@ pub(crate) fn build_shared(
     let shared = Shared {
         tables,
         upstream,
+        channels,
+        chan_into,
+        delayed_in_ports,
+        any_delayed,
         pe_of_node: mapping.pe_of_node.clone(),
         residents: mapping.residents(),
         node_roles,
@@ -208,8 +347,8 @@ pub(crate) fn build_shared(
 
 /// What one processed event did, recorded so the parallel coordinator can
 /// replay the *global* heap dynamics (event pop order and sequence-number
-/// assignment) without re-simulating: how many events it pushed (times in
-/// [`ShardLog::push_times`]), and how many sink end-of-frames and frame
+/// assignment) without re-simulating: how many events it pushed (records in
+/// [`ShardLog::pushes`]), and how many sink end-of-frames and frame
 /// starts it recorded (their timestamps all equal `t`).
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct LogEntry {
@@ -219,16 +358,28 @@ pub(crate) struct LogEntry {
     pub(crate) starts: u32,
 }
 
-/// Per-shard event journal for deterministic merging (DESIGN.md §9).
+/// One journaled event push, consumed sequentially by the parallel replay.
+/// `ord == 0` is a band-0 push (the replay heap assigns its insertion
+/// counter, reproducing the sequential engine's counter stream); a nonzero
+/// `ord` is a band-1 communication event carrying its creation-time ordinal.
+/// `target` is the shard whose journal the replayed event consumes — the
+/// *destination* shard for cross-shard communication.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PushRec {
+    pub(crate) t: f64,
+    pub(crate) ord: u64,
+    pub(crate) target: u32,
+}
+
+/// Per-shard event journal for deterministic merging (DESIGN.md §9, §11).
 #[derive(Default)]
 pub(crate) struct ShardLog {
     /// One entry per owned startup const firing, in global `consts` order.
     pub(crate) init: Vec<LogEntry>,
     /// One entry per popped event, in shard pop order.
     pub(crate) main: Vec<LogEntry>,
-    /// Scheduled times of every push, in push order, consumed sequentially
-    /// by the replay.
-    pub(crate) push_times: Vec<f64>,
+    /// Every push, in push order, consumed sequentially by the replay.
+    pub(crate) pushes: Vec<PushRec>,
 }
 
 /// Owned results of one shard's run, extracted once the event loop is done
@@ -242,6 +393,10 @@ pub(crate) struct ShardOutcome {
     pub(crate) custom_token_emissions: Vec<u64>,
     pub(crate) budget_overruns: Vec<u64>,
     pub(crate) node_max_queue: Vec<usize>,
+    /// Final sender-side credit count per channel (capacity minus
+    /// outstanding items); only entries for channels whose *source* the
+    /// shard owns are meaningful.
+    pub(crate) credits: Vec<i64>,
     pub(crate) now: f64,
     pub(crate) log: Option<ShardLog>,
     pub(crate) trace: Option<TraceRecorder>,
@@ -278,6 +433,30 @@ pub(crate) struct ShardSim<'a> {
     source_progress: Vec<u64>,
     budget_overruns: Vec<u64>,
     node_max_queue: Vec<usize>,
+    /// Sender-side credit count per channel (delayed channels only; direct
+    /// channels read the receiver queue instead). Starts at capacity; a
+    /// send spends one, a [`EventKind::CreditReturn`] restores one. May go
+    /// negative under source overfill, exactly mirroring the direct path's
+    /// behavior of counting a violation but still injecting.
+    credits: Vec<i64>,
+    /// Store-and-forward: when each delayed channel's wire is free again.
+    busy_until: Vec<f64>,
+    /// In-flight items per delayed channel, in send order; arrivals pop
+    /// from the front (arrival times are non-decreasing per channel, and
+    /// equal-time arrivals pop in ordinal = send order).
+    wire: Vec<VecDeque<Item>>,
+    /// Next arrival sequence number per channel (owned by the src shard).
+    send_seq: Vec<u32>,
+    /// Next credit-return sequence number per channel (owned by the dst shard).
+    credit_seq: Vec<u32>,
+    /// Cross-shard communication inboxes (parallel engine only); indexed by
+    /// destination shard.
+    links: Option<&'a [Mutex<Vec<OutMsg>>]>,
+    /// Earliest timestamp of any event this shard emitted into another
+    /// shard's inbox since the last [`take_min_out`](Self::take_min_out);
+    /// the coordinator folds it into the global window bound so in-flight
+    /// messages hold the window back exactly like queued events.
+    min_out: f64,
     log: Option<ShardLog>,
     /// Event recorder, present only when [`SimConfig::trace`] is set.
     /// Recording is read-only with respect to simulation state, so its
@@ -297,16 +476,20 @@ pub(crate) struct ShardSim<'a> {
 impl<'a> ShardSim<'a> {
     /// `shard_of_pe` assigns every PE to a shard; this instance runs the
     /// PEs of shard `shard`. Pass `record = true` to journal event-loop
-    /// dynamics for the parallel merge.
+    /// dynamics for the parallel merge, and `links = Some(inboxes)` to
+    /// route cross-shard communication (sequential runs pass `None`; with
+    /// one shard every channel is internal and the inboxes are never used).
     pub(crate) fn new(
         shared: &'a Shared,
         nodes: &'a DisjointSlots<RtNode>,
         shard: usize,
         shard_of_pe: &'a [usize],
         record: bool,
+        links: Option<&'a [Mutex<Vec<OutMsg>>]>,
     ) -> Self {
         let n = nodes.len();
         let num_pes = shared.residents.len();
+        let num_chans = shared.channels.len();
         // One PE cycle per bucket: firing durations are cycle counts plus
         // fractional word costs, so event times cluster at this scale.
         let quantum = 1.0 / shared.machine.pe_clock_hz;
@@ -330,6 +513,13 @@ impl<'a> ShardSim<'a> {
             source_progress: vec![0; shared.tables.sources.len()],
             budget_overruns: vec![0; n],
             node_max_queue: vec![0; n],
+            credits: vec![shared.channel_capacity as i64; num_chans],
+            busy_until: vec![0.0; num_chans],
+            wire: (0..num_chans).map(|_| VecDeque::new()).collect(),
+            send_seq: vec![0; num_chans],
+            credit_seq: vec![0; num_chans],
+            links,
+            min_out: f64::INFINITY,
             log: record.then(ShardLog::default),
             trace: shared.trace.map(TraceRecorder::new),
             pe_stall: vec![None; num_pes],
@@ -380,19 +570,33 @@ impl<'a> ShardSim<'a> {
         unsafe { self.nodes.get_mut(i) }
     }
 
-    fn push_event(&mut self, t: f64, kind: EventKind) {
+    /// Journal one push for the parallel replay (no-op when not recording
+    /// or outside a loggable entry, i.e. for source seeds).
+    #[inline]
+    fn journal_push(&mut self, t: f64, ord: u64, target: u32) {
         if self.in_entry {
             if let Some(log) = self.log.as_mut() {
-                log.push_times.push(t);
+                log.pushes.push(PushRec { t, ord, target });
             }
         }
+    }
+
+    /// Push a band-0 event (source emission / PE completion) on this shard.
+    fn push_event(&mut self, t: f64, kind: EventKind) {
+        self.journal_push(t, 0, self.shard as u32);
         self.events.push(t, kind);
+    }
+
+    /// Push a band-1 communication event local to this shard.
+    fn push_event_ord(&mut self, t: f64, ord: u64, kind: EventKind) {
+        self.journal_push(t, ord, self.shard as u32);
+        self.events.push_ord(t, ord, kind);
     }
 
     fn begin_entry(&mut self) {
         if let Some(log) = self.log.as_ref() {
             self.in_entry = true;
-            self.entry_push_base = log.push_times.len();
+            self.entry_push_base = log.pushes.len();
             self.entry_eof_base = self.sink_eof_times.len();
             self.entry_start_base = self.frame_start_times.len();
         }
@@ -412,7 +616,7 @@ impl<'a> ShardSim<'a> {
             self.in_entry = false;
             let entry = LogEntry {
                 t,
-                pushes: (log.push_times.len() - self.entry_push_base) as u32,
+                pushes: (log.pushes.len() - self.entry_push_base) as u32,
                 eofs,
                 starts,
             };
@@ -446,6 +650,13 @@ impl<'a> ShardSim<'a> {
     /// owned startup constants (in global order), seed the owned sources,
     /// and drain the event queue.
     pub(crate) fn run(&mut self) {
+        self.init();
+        self.run_window(f64::INFINITY);
+    }
+
+    /// Fire the owned startup constants (in global order) and seed the
+    /// owned sources — everything that happens before the first event pop.
+    pub(crate) fn init(&mut self) {
         // Constants fire at t = 0, before any source sample.
         for ci in 0..self.shared.tables.consts.len() {
             let (node, method) = self.shared.tables.consts[ci];
@@ -468,16 +679,72 @@ impl<'a> ShardSim<'a> {
                 self.push_event(0.0, EventKind::SourceEmit { source: s });
             }
         }
+    }
 
+    /// Process every pending event with `t < end`, in `(t, ord)` order.
+    /// Returns the timestamp of the first unprocessed event, or `+inf` when
+    /// the queue drained. The sequential engine calls this once with
+    /// `end = +inf`; the parallel engine calls it per synchronization
+    /// window with the coordinator's conservative bound.
+    pub(crate) fn run_window(&mut self, end: f64) -> f64 {
         while let Some(ev) = self.events.pop() {
+            if ev.t >= end {
+                // Past the window: put it back (re-insertion keeps its
+                // original `(t, seq)` key, so nothing is reordered).
+                self.events.push_ord(ev.t, ev.seq, ev.payload);
+                return ev.t;
+            }
             self.now = ev.t;
             self.begin_entry();
             match ev.payload {
                 EventKind::SourceEmit { source } => self.handle_source_emit(source),
                 EventKind::PeDone { pe } => self.handle_pe_done(pe),
+                EventKind::ChannelArrival { chan } => self.handle_channel_arrival(chan),
+                EventKind::CreditReturn { chan } => self.handle_credit_return(chan),
             }
             self.end_entry(ev.t, false);
         }
+        f64::INFINITY
+    }
+
+    /// Timestamp of this shard's earliest pending event (`+inf` when idle),
+    /// without processing it.
+    pub(crate) fn next_pending(&mut self) -> f64 {
+        match self.events.pop() {
+            Some(ev) => {
+                let t = ev.t;
+                self.events.push_ord(ev.t, ev.seq, ev.payload);
+                t
+            }
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Move everything other shards sent us into the local event queue.
+    /// Not journaled: the *sender* journals cross-shard pushes (with this
+    /// shard as target), preserving the global push stream.
+    pub(crate) fn drain_inbox(&mut self) {
+        let Some(links) = self.links else { return };
+        let msgs = std::mem::take(&mut *links[self.shard].lock().unwrap());
+        for m in msgs {
+            match m.kind {
+                MsgKind::Arrival(item) => {
+                    self.wire[m.chan as usize].push_back(item);
+                    self.events
+                        .push_ord(m.t, m.ord, EventKind::ChannelArrival { chan: m.chan });
+                }
+                MsgKind::Credit => {
+                    self.events
+                        .push_ord(m.t, m.ord, EventKind::CreditReturn { chan: m.chan });
+                }
+            }
+        }
+    }
+
+    /// Earliest timestamp this shard sent to another shard's inbox since
+    /// the last call (`+inf` if none); resets the accumulator.
+    pub(crate) fn take_min_out(&mut self) -> f64 {
+        std::mem::replace(&mut self.min_out, f64::INFINITY)
     }
 
     /// Extract the owned results, releasing the borrows on the node slots.
@@ -491,6 +758,7 @@ impl<'a> ShardSim<'a> {
             custom_token_emissions: self.custom_token_emissions,
             budget_overruns: self.budget_overruns,
             node_max_queue: self.node_max_queue,
+            credits: self.credits,
             now: self.now,
             log: self.log,
             trace: self.trace,
@@ -531,10 +799,15 @@ impl<'a> ShardSim<'a> {
         }
         // Check capacity at the destinations before injecting; a full queue
         // at the scheduled time is a missed deadline (counted once per
-        // injection, however many destinations are saturated).
+        // injection, however many destinations are saturated). Delayed
+        // destinations are judged by the sender-side credit count — the
+        // receiver queue may be remote.
         let full = self.shared.tables.routes[s.node][0]
             .iter()
-            .any(|&(dn, dp)| self.node(dn).queues[dp].len() >= self.shared.channel_capacity);
+            .any(|&(dn, dp)| match self.delayed_chan(dn, dp) {
+                Some(chan) => self.credits[chan as usize] <= 0,
+                None => self.node(dn).queues[dp].len() >= self.shared.channel_capacity,
+            });
         if full {
             self.violations += 1;
         }
@@ -573,9 +846,153 @@ impl<'a> ShardSim<'a> {
         self.dispatch_wave(touched);
     }
 
+    /// The delayed channel into `(dn, dp)`, if any. One load on the
+    /// zero-model fast path.
+    #[inline]
+    fn delayed_chan(&self, dn: usize, dp: usize) -> Option<u32> {
+        if !self.shared.any_delayed {
+            return None;
+        }
+        self.shared.chan_into[dn][dp].filter(|&c| self.shared.channels[c as usize].latency_s > 0.0)
+    }
+
+    /// Launch `item` onto delayed channel `chan`: spend a credit, serialize
+    /// behind earlier items on the wire (store-and-forward), and schedule
+    /// the arrival — locally, or into the destination shard's inbox.
+    fn delayed_send(&mut self, chan: u32, item: Item) {
+        let c = self.shared.channels[chan as usize];
+        let ci = chan as usize;
+        self.credits[ci] -= 1;
+        let words = item.words();
+        let depart = self.now.max(self.busy_until[ci]);
+        let ser = words as f64 * c.ser_per_word_s;
+        let arrival = depart + ser + c.latency_s;
+        self.busy_until[ci] = depart + ser;
+        let seq = self.send_seq[ci];
+        self.send_seq[ci] += 1;
+        let ord = band1_ord(2 * chan as u64, seq);
+        if let Some(trace) = self.trace.as_mut() {
+            trace.record(TraceEvent::CommSend {
+                t: self.now,
+                chan,
+                words: words as u32,
+                arrival,
+            });
+        }
+        let dst_shard = self.shard_of_pe[self.shared.pe_of_node[c.dst]];
+        if dst_shard == self.shard {
+            self.wire[ci].push_back(item);
+            self.push_event_ord(arrival, ord, EventKind::ChannelArrival { chan });
+        } else {
+            self.journal_push(arrival, ord, dst_shard as u32);
+            self.min_out = self.min_out.min(arrival);
+            let links = self.links.expect("cross-shard send without links");
+            links[dst_shard].lock().unwrap().push(OutMsg {
+                t: arrival,
+                ord,
+                chan,
+                kind: MsgKind::Arrival(item),
+            });
+        }
+    }
+
+    /// An in-flight item lands: pop it off the wire into the destination
+    /// queue, then dispatch the destination PE.
+    fn handle_channel_arrival(&mut self, chan: u32) {
+        let c = self.shared.channels[chan as usize];
+        let item = self.wire[chan as usize]
+            .pop_front()
+            .expect("arrival without in-flight item");
+        let (dn, dp) = (c.dst, c.dst_port);
+        if self.shared.node_roles[dn] == NodeRole::Sink {
+            if let Item::Control(ControlToken::EndOfFrame) = item {
+                self.sink_eof_times.push(self.now);
+            }
+        }
+        let depth = {
+            let queue = &mut self.node_mut(dn).queues[dp];
+            queue.push_back(item.clone());
+            queue.len()
+        };
+        if depth > self.node_max_queue[dn] {
+            self.node_max_queue[dn] = depth;
+        }
+        if let Some(trace) = self.trace.as_mut() {
+            trace.record(TraceEvent::CommArrival { t: self.now, chan });
+            trace.record(TraceEvent::QueueDepth {
+                t: self.now,
+                node: dn as u32,
+                port: dp as u32,
+                depth: depth as u32,
+            });
+            if let Item::Control(token) = &item {
+                trace.record(TraceEvent::Token {
+                    t: self.now,
+                    node: dn as u32,
+                    port: dp as u32,
+                    token: *token,
+                });
+            }
+        }
+        self.mark_dirty(dn);
+        self.dispatch_wave(vec![self.shared.pe_of_node[dn]]);
+    }
+
+    /// A credit comes home: the channel's producer may have been blocked on
+    /// it (it stayed dirty when declined for space), so dispatch its PE.
+    fn handle_credit_return(&mut self, chan: u32) {
+        self.credits[chan as usize] += 1;
+        let src = self.shared.channels[chan as usize].src;
+        self.dispatch_wave(vec![self.shared.pe_of_node[src]]);
+    }
+
+    /// After a firing consumed one item from each trigger port, schedule a
+    /// credit return (delayed by the channel latency) for every consumed
+    /// port fed by a delayed channel — to the owning shard of the sender.
+    fn return_credits(&mut self, node: usize, method: usize) {
+        if self.shared.delayed_in_ports[node].is_empty() {
+            return;
+        }
+        let triggers: Vec<usize> = self.node(node).compiled[method]
+            .triggers
+            .iter()
+            .map(|&(p, _)| p)
+            .collect();
+        for port in triggers {
+            let Some(&(_, chan)) = self.shared.delayed_in_ports[node]
+                .iter()
+                .find(|&&(p, _)| p == port)
+            else {
+                continue;
+            };
+            let ci = chan as usize;
+            let c = self.shared.channels[ci];
+            let seq = self.credit_seq[ci];
+            self.credit_seq[ci] += 1;
+            let ord = band1_ord(2 * chan as u64 + 1, seq);
+            let t = self.now + c.latency_s;
+            let src_shard = self.shard_of_pe[self.shared.pe_of_node[c.src]];
+            if src_shard == self.shard {
+                self.push_event_ord(t, ord, EventKind::CreditReturn { chan });
+            } else {
+                self.journal_push(t, ord, src_shard as u32);
+                self.min_out = self.min_out.min(t);
+                let links = self.links.expect("cross-shard credit without links");
+                links[src_shard].lock().unwrap().push(OutMsg {
+                    t,
+                    ord,
+                    chan,
+                    kind: MsgKind::Credit,
+                });
+            }
+        }
+    }
+
     /// Deliver items, recording sink EOF arrival times and marking the
     /// receiving nodes dirty. Returns the PEs that may now have new work;
-    /// the drained buffer is recycled to the emitting node.
+    /// the drained buffer is recycled to the emitting node. Destinations
+    /// behind a delayed channel receive nothing now — the item goes onto
+    /// the channel wire and lands at its [`EventKind::ChannelArrival`].
     fn route_timed(&mut self, from: usize, mut emitted: Vec<(usize, Item)>) -> Vec<usize> {
         let mut touched = Vec::new();
         for (port, item) in emitted.drain(..) {
@@ -585,6 +1002,10 @@ impl<'a> ShardSim<'a> {
             let n_dests = self.shared.tables.routes[from][port].len();
             for di in 0..n_dests {
                 let (dn, dp) = self.shared.tables.routes[from][port][di];
+                if let Some(chan) = self.delayed_chan(dn, dp) {
+                    self.delayed_send(chan, item.clone());
+                    continue;
+                }
                 if self.shared.node_roles[dn] == NodeRole::Sink {
                     if let Item::Control(ControlToken::EndOfFrame) = item {
                         self.sink_eof_times.push(self.now);
@@ -732,6 +1153,14 @@ impl<'a> ShardSim<'a> {
             // Firing consumed inputs and may have changed private state;
             // the node must be re-planned before it can be skipped again.
             self.mark_dirty(node);
+            // Consumption frees buffer space on the consumed channels;
+            // return the credits for any delayed ones.
+            if self.shared.any_delayed {
+                let mi = match action {
+                    Action::Fire { method } | Action::Forward { method, .. } => method,
+                };
+                self.return_credits(node, mi);
+            }
             // Data-dependent-cost kernels report their actual work; running
             // past the declared budget is a runtime resource exception
             // (§VII) recorded per node.
@@ -796,7 +1225,9 @@ impl<'a> ShardSim<'a> {
     }
 
     /// True when every destination queue of the action's outputs has room
-    /// for this firing's worst-case emissions (2 items of slack).
+    /// for this firing's worst-case emissions (2 items of slack). Delayed
+    /// channels are judged by the local credit count — never by receiver
+    /// state, so the check stays shard-local.
     fn downstream_space(&self, node: usize, action: Action) -> bool {
         let method = match action {
             Action::Fire { method } | Action::Forward { method, .. } => method,
@@ -804,8 +1235,17 @@ impl<'a> ShardSim<'a> {
         let outputs = &self.node(node).compiled[method].outputs;
         for &port in outputs {
             for &(dn, dp) in &self.shared.tables.routes[node][port] {
-                if self.node(dn).queues[dp].len() + 2 > self.shared.channel_capacity {
-                    return false;
+                match self.delayed_chan(dn, dp) {
+                    Some(chan) => {
+                        if self.credits[chan as usize] < 2 {
+                            return false;
+                        }
+                    }
+                    None => {
+                        if self.node(dn).queues[dp].len() + 2 > self.shared.channel_capacity {
+                            return false;
+                        }
+                    }
                 }
             }
         }
@@ -821,14 +1261,23 @@ impl<'a> ShardSim<'a> {
 /// edges from each blocked node in index order either revisits a node —
 /// the wait-for cycle (in a feedback loop, the channel chain that filled)
 /// — or dead-ends. Pure reads only, and both engines call this on the same
-/// merged node state, so the rendered diagnostic is identical between the
-/// sequential and parallel simulators.
-fn deadlock_wait_cycle(shared: &Shared, nodes: &[RtNode]) -> Option<String> {
+/// merged node state (including the merged sender-side credits for delayed
+/// channels), so the rendered diagnostic — channel names included — is
+/// identical between the sequential and parallel simulators.
+fn deadlock_wait_cycle(shared: &Shared, nodes: &[RtNode], credits: &[i64]) -> Option<String> {
     use std::fmt::Write as _;
     let n = nodes.len();
     let blocked: Vec<bool> = (0..n)
         .map(|i| shared.node_roles[i] != NodeRole::Source && nodes[i].plan().is_some())
         .collect();
+    // The delayed channel into `(dn, dp)`, if any (mirrors
+    // `ShardSim::delayed_chan` on merged state).
+    let delayed_chan = |dn: usize, dp: usize| -> Option<u32> {
+        if !shared.any_delayed {
+            return None;
+        }
+        shared.chan_into[dn][dp].filter(|&c| shared.channels[c as usize].latency_s > 0.0)
+    };
     // The first full output channel of a blocked node: `(out_port, dst,
     // dst_port)`. Deterministic because ports and routes scan in order.
     let wait_edge = |i: usize| -> Option<(usize, usize, usize)> {
@@ -837,7 +1286,11 @@ fn deadlock_wait_cycle(shared: &Shared, nodes: &[RtNode]) -> Option<String> {
         };
         for &port in &nodes[i].compiled[method].outputs {
             for &(dn, dp) in &shared.tables.routes[i][port] {
-                if nodes[dn].queues[dp].len() + 2 > shared.channel_capacity {
+                let full = match delayed_chan(dn, dp) {
+                    Some(chan) => credits[chan as usize] < 2,
+                    None => nodes[dn].queues[dp].len() + 2 > shared.channel_capacity,
+                };
+                if full {
                     return Some((port, dn, dp));
                 }
             }
@@ -863,6 +1316,14 @@ fn deadlock_wait_cycle(shared: &Shared, nodes: &[RtNode]) -> Option<String> {
                 if k > 0 {
                     s.push_str(", ");
                 }
+                // For a delayed channel, occupancy is capacity minus the
+                // sender's remaining credits (queued + in flight).
+                let occupancy = match delayed_chan(dst, ip) {
+                    Some(chan) => {
+                        (shared.channel_capacity as i64 - credits[chan as usize]).max(0) as usize
+                    }
+                    None => nodes[dst].queues[ip].len(),
+                };
                 let _ = write!(
                     s,
                     "{}.{} -> {}.{} ({}/{} full)",
@@ -870,7 +1331,7 @@ fn deadlock_wait_cycle(shared: &Shared, nodes: &[RtNode]) -> Option<String> {
                     nodes[src].spec.outputs[op].name,
                     nodes[dst].name,
                     nodes[dst].spec.inputs[ip].name,
-                    nodes[dst].queues[ip].len(),
+                    occupancy,
                     shared.channel_capacity
                 );
             }
@@ -896,6 +1357,7 @@ pub(crate) fn assemble_report(
     custom_token_emissions: &[u64],
     budget_overruns: Vec<u64>,
     node_max_queue: Vec<usize>,
+    credits: &[i64],
 ) -> Result<SimReport> {
     // Everything settled. If any node still has a fireable plan, the
     // only thing that can have stopped it is downstream capacity — with
@@ -907,7 +1369,7 @@ pub(crate) fn assemble_report(
     if deadlocked {
         let queued: usize = nodes.iter().map(|n| n.queued_items()).sum();
         return Err(BpError::Simulation(
-            match deadlock_wait_cycle(shared, nodes) {
+            match deadlock_wait_cycle(shared, nodes, credits) {
                 Some(cycle) => format!(
                     "capacity deadlock with {} items queued; wait-for cycle: {}\n{}",
                     queued,
@@ -1019,7 +1481,7 @@ impl TimedSimulator {
         let shard_of_pe = vec![0usize; shared.residents.len()];
         let slots = DisjointSlots::new(nodes);
         let outcome = {
-            let mut sim = ShardSim::new(&shared, &slots, 0, &shard_of_pe, false);
+            let mut sim = ShardSim::new(&shared, &slots, 0, &shard_of_pe, false, None);
             sim.run();
             sim.into_outcome()
         };
@@ -1034,6 +1496,7 @@ impl TimedSimulator {
                     &shared.pe_of_node,
                     shared.residents.len(),
                     shared.machine.pe_clock_hz,
+                    &shared.channels,
                 ),
                 events,
                 dropped,
@@ -1051,6 +1514,7 @@ impl TimedSimulator {
             &outcome.custom_token_emissions,
             outcome.budget_overruns,
             outcome.node_max_queue,
+            &outcome.credits,
         )?;
         Ok((report, trace))
     }

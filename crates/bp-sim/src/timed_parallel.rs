@@ -1,47 +1,86 @@
 //! Multi-threaded timed simulation with bitwise-identical results
-//! (DESIGN.md §9).
+//! (DESIGN.md §9 and §11).
 //!
-//! The simulated machine has no modeled communication delay, so a
-//! conservative parallel discrete-event simulator has zero lookahead across
-//! any channel: two PEs connected (even transitively) by channels can
-//! interact at the very timestamp being processed. What *can* run freely in
-//! parallel are the weakly connected components of the mapped channel
+//! Under the zero communication model a conservative parallel
+//! discrete-event simulator has zero lookahead across any channel: two PEs
+//! connected (even transitively) by channels can interact at the very
+//! timestamp being processed. What runs freely in parallel then are the
+//! weakly connected components of the *direct* (zero-latency) channel
 //! graph — no item routing, no dispatch wave, and no back-pressure ever
 //! crosses between them. [`bp_core::ShardPlan`] groups those components
 //! into per-worker shards; each worker runs the ordinary event loop
-//! ([`crate::timed::ShardSim`]) over its own PEs to completion.
+//! ([`crate::timed::ShardSim`]) over its own PEs.
 //!
-//! Within one shard, event times and handler effects are independent of the
-//! other shards (disjoint state), and the pop order of the shard's events
-//! equals the sequential simulator's pop order restricted to that shard:
-//! local insertion order is the global insertion order filtered to the
-//! shard, and both queues order by `(t, insertion)`. Per-shard artifacts —
-//! PE stats, node firings, queue depths — are therefore already bitwise
-//! equal to the sequential run's, and are merged by taking each entry from
-//! its owning shard.
+//! A nonzero [`bp_core::CommModel`] is what buys lookahead *within* a
+//! component: a delayed channel's effects (arrivals, credit returns) land
+//! at least its latency after the event that caused them, so the minimum
+//! latency `L` over cross-shard channels bounds how far one shard can run
+//! ahead of the others without missing an incoming event — classic
+//! conservative (null-message-free, barrier-windowed) PDES. A coordinator
+//! repeatedly gathers every shard's earliest pending/in-flight timestamp
+//! `m` and releases the workers to process events with `t < m + L`;
+//! cross-shard events ride per-shard mutex inboxes and are drained at the
+//! next window boundary, which they cannot precede. With positive `L` even
+//! a single connected component (e.g. `fig1b`) executes on multiple
+//! workers; the zero model degenerates to one infinite window per
+//! component, i.e. exactly the pre-model behavior.
+//!
+//! Within one shard, event times and handler effects are independent of
+//! the other shards during a window (disjoint node state; remote effects
+//! arrive only beyond the window edge), and the pop order of the shard's
+//! events equals the sequential simulator's pop order restricted to that
+//! shard: band-0 events (emissions, completions) are keyed by the local
+//! insertion counter, which filters the global insertion order, and band-1
+//! communication events carry creation-time `(stream, seq)` ordinals that
+//! are identical in both engines. Per-shard artifacts — PE stats, node
+//! firings, queue depths — are therefore already bitwise equal to the
+//! sequential run's, and are merged by taking each entry from its owning
+//! shard.
 //!
 //! Globally *ordered* artifacts (the interleaving of sink end-of-frame
 //! arrivals across shards, which feeds frame accounting) additionally need
 //! the sequential pop order across shards. Each worker journals, per
-//! processed event, the times of the events it pushed and how many
-//! EOFs/frame-starts it recorded ([`crate::timed::ShardLog`]). The merge
-//! then *replays* the global heap symbolically: it seeds the startup pushes
-//! in program order, pops by `(time, global sequence)`, and consumes each
-//! shard's journal in order, reconstructing the exact global event order —
-//! and thus the exact `SimReport` — without touching any kernel state.
+//! processed event, the pushes it performed — time, band ordinal, and
+//! *target shard* (the destination for cross-shard communication) — and
+//! how many EOFs/frame-starts it recorded ([`crate::timed::ShardLog`]).
+//! The merge then *replays* the global heap symbolically: it seeds the
+//! startup pushes in program order, pops by `(time, band ordinal)`, and
+//! consumes the popped event's target-shard journal in order,
+//! reconstructing the exact global event order — and thus the exact
+//! `SimReport` — without touching any kernel state.
 
 use crate::events::{EventQueue, HeapQueue};
 use crate::parallel::DisjointSlots;
 use crate::runtime::RtNode;
 use crate::stats::{PeStats, SimReport};
 use crate::timed::{
-    assemble_report, build_shared, LogEntry, ShardLog, ShardOutcome, ShardSim, Shared, SimConfig,
-    TimedSimulator,
+    assemble_report, build_shared, LogEntry, OutMsg, ShardLog, ShardOutcome, ShardSim, Shared,
+    SimConfig, TimedSimulator,
 };
 use crate::trace::{Trace, TraceEvent, TraceMeta, TraceOptions, TraceRecorder};
 use bp_core::graph::AppGraph;
 use bp_core::machine::{Mapping, ShardPlan};
 use bp_core::Result;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// Counters describing how a parallel run was scheduled, for scaling
+/// analysis and tests (e.g. asserting that a single-component app really
+/// executed on several workers once the comm model gave it lookahead).
+#[derive(Clone, Debug)]
+pub struct ParallelRunStats {
+    /// Worker threads the run used (1 = sequential fallback).
+    pub shards: usize,
+    /// Conservative lookahead: the minimum latency over cross-shard
+    /// channels (`+inf` when shards are fully independent — then a single
+    /// unbounded window runs each shard to completion).
+    pub lookahead_s: f64,
+    /// Synchronization windows the coordinator released.
+    pub windows: u64,
+    /// Events processed by each shard's event loop (empty in the
+    /// sequential fallback).
+    pub shard_events: Vec<u64>,
+}
 
 /// Timed simulator that executes independent PE interaction regions on
 /// worker threads. Produces bitwise-identical [`SimReport`]s to
@@ -90,12 +129,17 @@ impl ParallelTimedSimulator {
         node_weights: &[u64],
     ) -> Result<Self> {
         let (nodes, shared) = build_shared(graph, mapping, config)?;
-        // Dependency edges carry no runtime traffic, but fold them in
-        // anyway: sharding is correctness-critical, and the cost of a
-        // merged component is only lost parallelism.
-        let mut edges: Vec<(usize, usize)> = graph
-            .channels()
-            .map(|(_, c)| (c.src.node.0, c.dst.node.0))
+        // Shards must not be split across *direct* (zero-latency) channels
+        // — those deliver synchronously. Delayed channels are exactly the
+        // safe cut points: their latency is the lookahead. Dependency
+        // edges carry no runtime traffic, but fold them in anyway:
+        // sharding is correctness-critical, and the cost of a merged
+        // component is only lost parallelism.
+        let mut edges: Vec<(usize, usize)> = shared
+            .channels
+            .iter()
+            .filter(|c| c.latency_s <= 0.0)
+            .map(|c| (c.src, c.dst))
             .collect();
         edges.extend(graph.dep_edges().iter().map(|d| (d.src.0, d.dst.0)));
         let plan = ShardPlan::build_weighted(mapping, &edges, threads.max(1), node_weights);
@@ -113,39 +157,129 @@ impl ParallelTimedSimulator {
 
     /// Run the simulation to completion and report.
     pub fn run(self) -> Result<SimReport> {
-        self.run_with_trace().map(|(report, _)| report)
+        self.run_with_stats().map(|(report, _, _)| report)
     }
 
     /// Run the simulation and also return the merged [`Trace`] when
     /// [`SimConfig::trace`] was set (`None` otherwise). The per-shard
     /// streams are interleaved by the journal replay into the global
-    /// `(t, seq)` pop order, so — as long as no ring dropped events — the
+    /// `(t, ord)` pop order, so — as long as no ring dropped events — the
     /// merged trace is bitwise identical to the sequential engine's at any
     /// thread count.
     pub fn run_with_trace(self) -> Result<(SimReport, Option<Trace>)> {
+        self.run_with_stats()
+            .map(|(report, trace, _)| (report, trace))
+    }
+
+    /// Run and additionally return [`ParallelRunStats`] describing the
+    /// parallel schedule (shards, lookahead, windows, per-shard events).
+    pub fn run_with_stats(self) -> Result<(SimReport, Option<Trace>, ParallelRunStats)> {
         let Self {
             nodes,
             shared,
             plan,
         } = self;
         if plan.num_shards <= 1 {
-            return TimedSimulator::from_parts(nodes, shared).run_with_trace();
+            let (report, trace) = TimedSimulator::from_parts(nodes, shared).run_with_trace()?;
+            let stats = ParallelRunStats {
+                shards: 1,
+                lookahead_s: f64::INFINITY,
+                windows: 0,
+                shard_events: Vec::new(),
+            };
+            return Ok((report, trace, stats));
         }
         let n = nodes.len();
         let num_pes = shared.residents.len();
+        // Conservative lookahead: no cross-shard channel can deliver an
+        // effect sooner than this after its cause. Cross-shard channels are
+        // delayed by construction (direct edges are never cut), so with any
+        // of them present this is positive; with none it is +inf and each
+        // shard runs to completion in one window.
+        let lookahead_s = shared
+            .channels
+            .iter()
+            .filter(|c| {
+                plan.shard_of_pe[shared.pe_of_node[c.src]]
+                    != plan.shard_of_pe[shared.pe_of_node[c.dst]]
+            })
+            .map(|c| c.latency_s)
+            .fold(f64::INFINITY, f64::min);
         let slots = DisjointSlots::new(nodes);
+        // Cross-shard communication inboxes, one per destination shard.
+        let inboxes: Vec<Mutex<Vec<OutMsg>>> = (0..plan.num_shards)
+            .map(|_| Mutex::new(Vec::new()))
+            .collect();
+        // Per-shard published timestamps (f64 bits): the earliest pending
+        // local event and the earliest message sent to another shard since
+        // the last publication. All simulation times are non-negative, so
+        // the bit patterns order like the floats.
+        let next_t: Vec<AtomicU64> = (0..plan.num_shards)
+            .map(|_| AtomicU64::new(f64::INFINITY.to_bits()))
+            .collect();
+        let min_out: Vec<AtomicU64> = (0..plan.num_shards)
+            .map(|_| AtomicU64::new(f64::INFINITY.to_bits()))
+            .collect();
+        let window = AtomicU64::new(f64::INFINITY.to_bits());
+        let stop = AtomicBool::new(false);
+        // Workers + coordinator rendezvous twice per round: once so every
+        // worker has published its timestamps, once so the coordinator has
+        // set the window (or the stop flag).
+        let barrier = Barrier::new(plan.num_shards + 1);
+        let mut windows = 0u64;
         let mut outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..plan.num_shards)
                 .map(|shard| {
                     let (shared, slots) = (&shared, &slots);
+                    let (inboxes, barrier) = (&inboxes[..], &barrier);
+                    let (next_t, min_out) = (&next_t[..], &min_out[..]);
+                    let (window, stop) = (&window, &stop);
                     let shard_of_pe = &plan.shard_of_pe[..];
                     scope.spawn(move || {
-                        let mut sim = ShardSim::new(shared, slots, shard, shard_of_pe, true);
-                        sim.run();
+                        let mut sim =
+                            ShardSim::new(shared, slots, shard, shard_of_pe, true, Some(inboxes));
+                        sim.init();
+                        next_t[shard].store(sim.next_pending().to_bits(), Ordering::SeqCst);
+                        min_out[shard].store(sim.take_min_out().to_bits(), Ordering::SeqCst);
+                        loop {
+                            barrier.wait();
+                            barrier.wait();
+                            if stop.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            let end = f64::from_bits(window.load(Ordering::SeqCst));
+                            sim.drain_inbox();
+                            let nt = sim.run_window(end);
+                            next_t[shard].store(nt.to_bits(), Ordering::SeqCst);
+                            min_out[shard].store(sim.take_min_out().to_bits(), Ordering::SeqCst);
+                        }
                         sim.into_outcome()
                     })
                 })
                 .collect();
+            // Coordinator: release windows until every shard is idle with
+            // nothing in flight. Any message a worker sent this round is
+            // visible in its `min_out` publication, so "all +inf" is a
+            // sound global-quiescence test.
+            loop {
+                barrier.wait();
+                let horizon = (0..plan.num_shards)
+                    .map(|s| {
+                        f64::from_bits(next_t[s].load(Ordering::SeqCst))
+                            .min(f64::from_bits(min_out[s].load(Ordering::SeqCst)))
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                if horizon.is_infinite() {
+                    stop.store(true, Ordering::SeqCst);
+                } else {
+                    window.store((horizon + lookahead_s).to_bits(), Ordering::SeqCst);
+                    windows += 1;
+                }
+                barrier.wait();
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
             handles
                 .into_iter()
                 .map(|h| h.join().expect("shard worker panicked"))
@@ -165,6 +299,13 @@ impl ParallelTimedSimulator {
             (0..n).map(|i| owner(i).custom_token_emissions[i]).collect();
         let budget_overruns: Vec<u64> = (0..n).map(|i| owner(i).budget_overruns[i]).collect();
         let node_max_queue: Vec<usize> = (0..n).map(|i| owner(i).node_max_queue[i]).collect();
+        // A channel's credits live with its *source* shard (the spender).
+        let credits: Vec<i64> = shared
+            .channels
+            .iter()
+            .enumerate()
+            .map(|(ci, c)| outcomes[plan.shard_of_pe[shared.pe_of_node[c.src]]].credits[ci])
+            .collect();
         let violations: u64 = outcomes.iter().map(|o| o.violations).sum();
         // The sequential loop leaves `now` at the time of the last popped
         // event; events pop in ascending time, so that is the maximum event
@@ -190,11 +331,21 @@ impl ParallelTimedSimulator {
                 &shared.pe_of_node,
                 num_pes,
                 shared.machine.pe_clock_hz,
+                &shared.channels,
             ),
             events: merged_events,
             dropped: recorders.iter().flatten().map(|r| r.dropped).sum(),
         });
 
+        let run_stats = ParallelRunStats {
+            shards: plan.num_shards,
+            lookahead_s,
+            windows,
+            shard_events: outcomes
+                .iter()
+                .map(|o| o.log.as_ref().map_or(0, |l| l.main.len() as u64))
+                .collect(),
+        };
         let report = assemble_report(
             &shared,
             &nodes,
@@ -207,8 +358,9 @@ impl ParallelTimedSimulator {
             &custom_token_emissions,
             budget_overruns,
             node_max_queue,
+            &credits,
         )?;
-        Ok((report, trace))
+        Ok((report, trace, run_stats))
     }
 }
 
@@ -263,9 +415,19 @@ fn replay_merge(
         starts: &mut Vec<f64>,
     ) {
         for _ in 0..entry.pushes {
-            let t = log.push_times[push_idx[sh]];
+            let rec = log.pushes[push_idx[sh]];
             push_idx[sh] += 1;
-            heap.push(t, sh);
+            // Band-0 pushes take the replay heap's insertion counter —
+            // reproducing the sequential engine's counter stream, because
+            // the replay performs the pushes in the sequential order.
+            // Band-1 pushes carry their creation-time ordinal. The payload
+            // is the shard whose journal the event consumes when popped:
+            // the *destination* shard for cross-shard communication.
+            if rec.ord == 0 {
+                heap.push(rec.t, rec.target as usize);
+            } else {
+                heap.push_ord(rec.t, rec.ord, rec.target as usize);
+            }
         }
         for _ in 0..entry.eofs {
             eofs.push(entry.t);
@@ -336,7 +498,7 @@ fn replay_merge(
             log.main.len(),
             "shard {sh} journal not fully replayed"
         );
-        debug_assert_eq!(push_idx[sh], log.push_times.len());
+        debug_assert_eq!(push_idx[sh], log.pushes.len());
         debug_assert_eq!(
             recorders[sh].as_ref().map_or(0, |r| r.remaining()),
             0,

@@ -127,6 +127,28 @@ pub enum TraceEvent {
         /// Attributed cause.
         cause: StallCause,
     },
+    /// An item was launched onto a delayed channel (nonzero
+    /// [`bp_core::CommModel`] only). Paired with the
+    /// [`TraceEvent::CommArrival`] at `arrival`, this attributes in-flight
+    /// network occupancy per channel.
+    CommSend {
+        /// Send (push) time in simulated seconds.
+        t: f64,
+        /// Channel index into [`TraceMeta::channels`].
+        chan: u32,
+        /// Payload size in words (drives the serialization term).
+        words: u32,
+        /// Scheduled arrival time (send + serialization + latency).
+        arrival: f64,
+    },
+    /// An in-flight item landed in its destination queue (the matching
+    /// [`TraceEvent::QueueDepth`] follows at the same timestamp).
+    CommArrival {
+        /// Arrival time in simulated seconds.
+        t: f64,
+        /// Channel index into [`TraceMeta::channels`].
+        chan: u32,
+    },
 }
 
 impl TraceEvent {
@@ -137,7 +159,9 @@ impl TraceEvent {
             | TraceEvent::FiringEnd { t, .. }
             | TraceEvent::QueueDepth { t, .. }
             | TraceEvent::Token { t, .. }
-            | TraceEvent::Stall { t, .. } => t,
+            | TraceEvent::Stall { t, .. }
+            | TraceEvent::CommSend { t, .. }
+            | TraceEvent::CommArrival { t, .. } => t,
         }
     }
 
@@ -148,7 +172,9 @@ impl TraceEvent {
             | TraceEvent::FiringEnd { node, .. }
             | TraceEvent::QueueDepth { node, .. }
             | TraceEvent::Token { node, .. } => Some(node),
-            TraceEvent::Stall { .. } => None,
+            TraceEvent::Stall { .. }
+            | TraceEvent::CommSend { .. }
+            | TraceEvent::CommArrival { .. } => None,
         }
     }
 
@@ -212,6 +238,23 @@ impl TraceEvent {
                 h.word(t.to_bits());
                 h.word(pe as u64);
                 h.byte(cause.tag());
+            }
+            TraceEvent::CommSend {
+                t,
+                chan,
+                words,
+                arrival,
+            } => {
+                h.byte(5);
+                h.word(t.to_bits());
+                h.word(chan as u64);
+                h.word(words as u64);
+                h.word(arrival.to_bits());
+            }
+            TraceEvent::CommArrival { t, chan } => {
+                h.byte(6);
+                h.word(t.to_bits());
+                h.word(chan as u64);
             }
         }
     }
@@ -355,6 +398,23 @@ impl TraceRecorder {
     }
 }
 
+/// One channel's endpoints and resolved latency, for resolving the `chan`
+/// indices in [`TraceEvent::CommSend`]/[`TraceEvent::CommArrival`] and for
+/// restricting trace analyses to cross-PE channels.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceChannel {
+    /// Producing node index.
+    pub src_node: u32,
+    /// Output port index on the producer.
+    pub src_port: u32,
+    /// Consuming node index.
+    pub dst_node: u32,
+    /// Input port index on the consumer.
+    pub dst_port: u32,
+    /// Resolved one-way latency (0 = direct same-cycle delivery).
+    pub latency_s: f64,
+}
+
 /// Name tables resolving the dense indices in [`TraceEvent`]s, captured
 /// from the instantiated program at trace-assembly time.
 #[derive(Clone, Debug)]
@@ -371,6 +431,8 @@ pub struct TraceMeta {
     pub num_pes: usize,
     /// PE clock, for cycle/second conversions in viewers.
     pub pe_clock_hz: f64,
+    /// Every graph channel in runtime channel order.
+    pub channels: Vec<TraceChannel>,
 }
 
 impl TraceMeta {
@@ -379,6 +441,7 @@ impl TraceMeta {
         pe_of_node: &[usize],
         num_pes: usize,
         pe_clock_hz: f64,
+        channels: &[crate::timed::ChannelRt],
     ) -> Self {
         Self {
             node_names: nodes.iter().map(|n| n.name.clone()).collect(),
@@ -393,6 +456,16 @@ impl TraceMeta {
             pe_of_node: pe_of_node.to_vec(),
             num_pes,
             pe_clock_hz,
+            channels: channels
+                .iter()
+                .map(|c| TraceChannel {
+                    src_node: c.src as u32,
+                    src_port: c.src_port as u32,
+                    dst_node: c.dst as u32,
+                    dst_port: c.dst_port as u32,
+                    latency_s: c.latency_s,
+                })
+                .collect(),
         }
     }
 }
@@ -534,6 +607,106 @@ impl Trace {
         util
     }
 
+    /// Per-channel send/consume dwell statistics for cross-PE channels,
+    /// the input to [`bp_core::CommModel::from_profile`] (ROADMAP:
+    /// calibrate a delay model from traces). Each item's dwell is the time
+    /// from its hand-off on the producer to its consumption, FIFO-matched
+    /// per destination port. For delayed channels the hand-off is the
+    /// [`TraceEvent::CommSend`] departure — so the dwell *includes* wire
+    /// time and the calibrated base latency never undercuts the true
+    /// model; for direct channels it is the enqueue seen in the
+    /// [`TraceEvent::QueueDepth`] stream — measurable under the zero
+    /// model too, which is what makes calibration from an undelayed
+    /// baseline trace possible.
+    pub fn comm_profile(&self) -> bp_core::CommProfile {
+        let mut profile = bp_core::CommProfile::default();
+        let mut cross: Vec<Vec<bool>> = self
+            .meta
+            .input_ports
+            .iter()
+            .map(|ports| vec![false; ports.len()])
+            .collect();
+        // Ports fed by a delayed channel take their enqueue times from the
+        // CommSend stream instead (each input port has exactly one
+        // in-channel, so the (node, port) key is unambiguous).
+        let mut delayed = cross.clone();
+        for c in &self.meta.channels {
+            if self.meta.pe_of_node[c.src_node as usize]
+                != self.meta.pe_of_node[c.dst_node as usize]
+            {
+                cross[c.dst_node as usize][c.dst_port as usize] = true;
+                if c.latency_s > 0.0 {
+                    delayed[c.dst_node as usize][c.dst_port as usize] = true;
+                }
+            }
+        }
+        let mut prev: Vec<Vec<u32>> = cross.iter().map(|p| vec![0; p.len()]).collect();
+        let mut pending: Vec<Vec<VecDeque<f64>>> = cross
+            .iter()
+            .map(|p| p.iter().map(|_| VecDeque::new()).collect())
+            .collect();
+        for e in &self.events {
+            match *e {
+                TraceEvent::CommSend { t, chan, .. } => {
+                    let c = &self.meta.channels[chan as usize];
+                    let (n, p) = (c.dst_node as usize, c.dst_port as usize);
+                    if cross[n][p] {
+                        pending[n][p].push_back(t);
+                    }
+                }
+                TraceEvent::QueueDepth {
+                    t,
+                    node,
+                    port,
+                    depth,
+                } => {
+                    let (n, p) = (node as usize, port as usize);
+                    if !cross[n][p] {
+                        continue;
+                    }
+                    let old = prev[n][p];
+                    if depth > old {
+                        if !delayed[n][p] {
+                            for _ in 0..depth - old {
+                                pending[n][p].push_back(t);
+                            }
+                        }
+                    } else {
+                        for _ in 0..old - depth {
+                            if let Some(t0) = pending[n][p].pop_front() {
+                                profile.push(t - t0);
+                            }
+                        }
+                    }
+                    prev[n][p] = depth;
+                }
+                _ => {}
+            }
+        }
+        profile
+    }
+
+    /// Maximum number of simultaneously in-flight items per channel,
+    /// derived from [`TraceEvent::CommSend`]/[`TraceEvent::CommArrival`]
+    /// pairs (all zeros under the zero model, which has no flight time).
+    /// Indexed like [`TraceMeta::channels`].
+    pub fn comm_in_flight_peak(&self) -> Vec<u32> {
+        let mut cur = vec![0i64; self.meta.channels.len()];
+        let mut peak = vec![0u32; self.meta.channels.len()];
+        for e in &self.events {
+            match *e {
+                TraceEvent::CommSend { chan, .. } => {
+                    let c = chan as usize;
+                    cur[c] += 1;
+                    peak[c] = peak[c].max(cur[c] as u32);
+                }
+                TraceEvent::CommArrival { chan, .. } => cur[chan as usize] -= 1,
+                _ => {}
+            }
+        }
+        peak
+    }
+
     /// Number of stall transitions per cause, across all PEs.
     pub fn stall_counts(&self) -> [(StallCause, u64); 3] {
         let mut counts = [
@@ -575,6 +748,7 @@ mod tests {
             pe_of_node: (0..nodes).map(|i| i % pes).collect(),
             num_pes: pes,
             pe_clock_hz: 1e6,
+            channels: vec![],
         }
     }
 
@@ -658,6 +832,111 @@ mod tests {
                 t: 2.0,
             }
         );
+    }
+
+    #[test]
+    fn comm_profile_fifo_matches_cross_pe_dwell() {
+        // Two nodes on different PEs connected by one channel; items queue
+        // at t=1,2 and are consumed at t=3,5 → dwells 2 and 3.
+        let mut m = meta(2, 2);
+        m.channels = vec![TraceChannel {
+            src_node: 0,
+            src_port: 0,
+            dst_node: 1,
+            dst_port: 0,
+            latency_s: 0.0,
+        }];
+        let q = |t: f64, depth: u32| TraceEvent::QueueDepth {
+            t,
+            node: 1,
+            port: 0,
+            depth,
+        };
+        let t = Trace {
+            meta: m,
+            events: vec![q(1.0, 1), q(2.0, 2), q(3.0, 1), q(5.0, 0)],
+            dropped: 0,
+        };
+        let p = t.comm_profile();
+        assert_eq!(p.samples, 2);
+        assert_eq!(p.min_dwell_s, 2.0);
+        assert_eq!(p.mean_dwell_s(), 2.5);
+        // Same-PE traffic is excluded: with both nodes on PE 0 the profile
+        // is empty.
+        let mut t2 = t.clone();
+        t2.meta.pe_of_node = vec![0, 0];
+        assert_eq!(t2.comm_profile().samples, 0);
+    }
+
+    #[test]
+    fn comm_profile_counts_wire_time_for_delayed_channels() {
+        // One delayed channel (latency 1): the item departs at t=1,
+        // arrives (enqueues) at t=2, is consumed at t=3. The dwell must be
+        // measured from departure — 2.0, not the 1.0 of queue time alone —
+        // so a model calibrated from the profile never undercuts the wire.
+        let mut m = meta(2, 2);
+        m.channels = vec![TraceChannel {
+            src_node: 0,
+            src_port: 0,
+            dst_node: 1,
+            dst_port: 0,
+            latency_s: 1.0,
+        }];
+        let q = |t: f64, depth: u32| TraceEvent::QueueDepth {
+            t,
+            node: 1,
+            port: 0,
+            depth,
+        };
+        let t = Trace {
+            meta: m,
+            events: vec![
+                TraceEvent::CommSend {
+                    t: 1.0,
+                    chan: 0,
+                    words: 1,
+                    arrival: 2.0,
+                },
+                q(2.0, 1),
+                TraceEvent::CommArrival { t: 2.0, chan: 0 },
+                q(3.0, 0),
+            ],
+            dropped: 0,
+        };
+        let p = t.comm_profile();
+        assert_eq!(p.samples, 1);
+        assert_eq!(p.min_dwell_s, 2.0);
+    }
+
+    #[test]
+    fn comm_in_flight_peak_pairs_sends_and_arrivals() {
+        let mut m = meta(2, 2);
+        m.channels = vec![TraceChannel {
+            src_node: 0,
+            src_port: 0,
+            dst_node: 1,
+            dst_port: 0,
+            latency_s: 1.0,
+        }];
+        let send = |t: f64, arrival: f64| TraceEvent::CommSend {
+            t,
+            chan: 0,
+            words: 4,
+            arrival,
+        };
+        let arr = |t: f64| TraceEvent::CommArrival { t, chan: 0 };
+        let t = Trace {
+            meta: m,
+            events: vec![
+                send(0.0, 1.0),
+                send(0.5, 1.5),
+                arr(1.0),
+                send(1.2, 2.2),
+                arr(1.5),
+            ],
+            dropped: 0,
+        };
+        assert_eq!(t.comm_in_flight_peak(), vec![2]);
     }
 
     #[test]

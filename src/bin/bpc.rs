@@ -23,6 +23,7 @@ struct Args {
     frames: u32,
     dot: Option<String>,
     trace: Option<String>,
+    comm: String,
     quiet: bool,
 }
 
@@ -31,9 +32,12 @@ fn usage() -> ! {
         "usage: bpc --app <fig1b|bayer|histogram|buffer-test|multi-conv|edge|fir|iir|analytics|stereo|camera-bank>\n\
          \x20          [--width N] [--height N] [--rate HZ] [--frames N]\n\
          \x20          [--policy trim|pad-zero|pad-mirror] [--mapping greedy|packed|one-to-one]\n\
-         \x20          [--dot FILE] [--trace FILE] [--quiet]\n\
+         \x20          [--dot FILE] [--trace FILE] [--comm-model SPEC] [--quiet]\n\
          \x20  --trace FILE  record a deterministic event trace and write it as\n\
-         \x20                Chrome trace-event JSON (open in https://ui.perfetto.dev)"
+         \x20                Chrome trace-event JSON (open in https://ui.perfetto.dev)\n\
+         \x20  --comm-model  inter-PE communication delay (latencies in PE cycles):\n\
+         \x20                zero (default) | uniform:LAT[:PER_WORD]\n\
+         \x20                | grid:BASE:PER_HOP[:PER_WORD]"
     );
     std::process::exit(2);
 }
@@ -49,6 +53,7 @@ fn parse_args() -> Args {
         frames: 3,
         dot: None,
         trace: None,
+        comm: "zero".to_string(),
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -89,6 +94,7 @@ fn parse_args() -> Args {
             }
             "--dot" => args.dot = Some(value("--dot")),
             "--trace" => args.trace = Some(value("--trace")),
+            "--comm-model" => args.comm = value("--comm-model"),
             "--quiet" => args.quiet = true,
             "--help" | "-h" => usage(),
             other => {
@@ -101,6 +107,29 @@ fn parse_args() -> Args {
         usage();
     }
     args
+}
+
+/// Parse a `--comm-model` spec into a [`CommModel`]. Latencies are given
+/// in PE cycles (the natural unit next to kernel cycle budgets) and
+/// converted to seconds at the machine's PE clock.
+fn parse_comm_model(spec: &str, pe_clock_hz: f64) -> Option<CommModel> {
+    let cyc = |s: &str| -> Option<f64> {
+        let v: f64 = s.parse().ok()?;
+        (v >= 0.0).then_some(v / pe_clock_hz)
+    };
+    let mut parts = spec.split(':');
+    let kind = parts.next()?;
+    let rest: Vec<&str> = parts.collect();
+    match (kind, rest.as_slice()) {
+        ("zero", []) => Some(CommModel::zero()),
+        ("uniform", [lat]) => Some(CommModel::uniform(cyc(lat)?, 0.0)),
+        ("uniform", [lat, per_word]) => Some(CommModel::uniform(cyc(lat)?, cyc(per_word)?)),
+        ("grid", [base, per_hop]) => Some(CommModel::grid(cyc(base)?, cyc(per_hop)?, 0.0)),
+        ("grid", [base, per_hop, per_word]) => {
+            Some(CommModel::grid(cyc(base)?, cyc(per_hop)?, cyc(per_word)?))
+        }
+        _ => None,
+    }
 }
 
 fn build_app(args: &Args) -> Option<apps::App> {
@@ -154,7 +183,22 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut config = SimConfig::new(args.frames).with_machine(opts.machine);
+    let Some(comm) = parse_comm_model(&args.comm, opts.machine.pe_clock_hz) else {
+        eprintln!("bad --comm-model '{}'", args.comm);
+        return ExitCode::from(2);
+    };
+    if !args.quiet && !comm.is_zero() {
+        println!(
+            "comm model: {} (base {:.0} cycles, per-hop {:.0}, per-word {:.0})",
+            args.comm,
+            comm.base_latency_s * opts.machine.pe_clock_hz,
+            comm.per_hop_s * opts.machine.pe_clock_hz,
+            comm.per_word_s * opts.machine.pe_clock_hz,
+        );
+    }
+    let mut config = SimConfig::new(args.frames)
+        .with_machine(opts.machine)
+        .with_comm(comm);
     if args.trace.is_some() {
         config = config.with_trace(TraceOptions::default());
     }

@@ -45,8 +45,9 @@ pub mod prelude {
         analyze, compile, summarize, to_dot, AlignPolicy, CompileOptions, MappingKind,
     };
     pub use bp_core::{
-        AppGraph, ControlToken, Dim2, GraphBuilder, Item, KernelBehavior, KernelDef, KernelSpec,
-        MachineSpec, Mapping, NodeRole, Offset2, Parallelism, Step2, TokenKind, Window,
+        AppGraph, CommModel, CommProfile, ControlToken, Dim2, GraphBuilder, Item, KernelBehavior,
+        KernelDef, KernelSpec, MachineSpec, Mapping, NodeRole, Offset2, Parallelism, Step2,
+        TokenKind, Window,
     };
     pub use bp_kernels::{
         absdiff, add, bayer_demosaic, box_coefficients, buffer, const_source, conv2d, downsample,
@@ -56,7 +57,7 @@ pub mod prelude {
     };
     pub use bp_sim::{
         chrome_trace_json, profile_node_weights, validate_json, FunctionalExecutor,
-        ParallelTimedSimulator, SimConfig, SimReport, StallCause, TimedSimulator, Trace,
-        TraceOptions,
+        ParallelRunStats, ParallelTimedSimulator, SimConfig, SimReport, StallCause, TimedSimulator,
+        Trace, TraceOptions,
     };
 }

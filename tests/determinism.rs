@@ -167,7 +167,7 @@ fn parallel_timed_is_bitwise_identical_to_sequential() {
             let config = SimConfig::new(FRAMES).with_machine(machine);
             let app = build_example(name);
             let compiled = compile(&app.graph, &opts).expect("compile");
-            let seq = TimedSimulator::new(&compiled.graph, &compiled.mapping, config)
+            let seq = TimedSimulator::new(&compiled.graph, &compiled.mapping, config.clone())
                 .expect("instantiate")
                 .run();
             let seq_items: Vec<Vec<Item>> = app.sinks.iter().map(|(_, h)| h.items()).collect();
@@ -177,7 +177,7 @@ fn parallel_timed_is_bitwise_identical_to_sequential() {
                 let par = ParallelTimedSimulator::new(
                     &compiled2.graph,
                     &compiled2.mapping,
-                    config,
+                    config.clone(),
                     threads,
                 )
                 .expect("instantiate")

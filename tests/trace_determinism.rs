@@ -216,11 +216,11 @@ fn weighted_shard_plan_preserves_results() {
     let compiled = compile(&app.graph, &CompileOptions::default()).expect("compile");
     let config = SimConfig::new(FRAMES);
     let weights =
-        profile_node_weights(&compiled.graph, &compiled.mapping, config).expect("profile");
+        profile_node_weights(&compiled.graph, &compiled.mapping, config.clone()).expect("profile");
     assert_eq!(weights.len(), compiled.graph.node_count());
     assert!(weights.iter().sum::<u64>() > 0, "profile saw no events");
 
-    let baseline = TimedSimulator::new(&compiled.graph, &compiled.mapping, config)
+    let baseline = TimedSimulator::new(&compiled.graph, &compiled.mapping, config.clone())
         .expect("instantiate")
         .run()
         .expect("run");
@@ -230,7 +230,7 @@ fn weighted_shard_plan_preserves_results() {
         let sim = ParallelTimedSimulator::new_weighted(
             &compiled2.graph,
             &compiled2.mapping,
-            config,
+            config.clone(),
             threads,
             &weights,
         )

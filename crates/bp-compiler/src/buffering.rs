@@ -1,8 +1,11 @@
 //! Automatic buffer insertion (§III-B): wherever a channel's producer grain
 //! differs from its consumer's window parameterization, splice in a
-//! parameterized buffer kernel sized from the data-flow analysis.
+//! parameterized buffer kernel sized from the data-flow analysis — plus the
+//! feedback-aware channel-capacity derivation (§III-D) that sizes loop
+//! back edges so every primed feedback cycle can drain.
 
 use crate::dataflow::analyze;
+use bp_core::capacity::{derive_channel_capacities, feedback_loops, ChannelCapacities};
 use bp_core::graph::AppGraph;
 use bp_core::kernel::NodeRole;
 use bp_core::{BpError, Dim2, Result, Step2};
@@ -41,6 +44,67 @@ impl InsertedBuffer {
 pub struct BufferingReport {
     /// Buffers inserted, in insertion order.
     pub inserted: Vec<InsertedBuffer>,
+}
+
+/// One feedback loop with its derived back-edge capacity, rendered with
+/// node and channel names for compile reports.
+#[derive(Clone, Debug)]
+pub struct LoopCapacity {
+    /// Loop member node names, in node-id order.
+    pub nodes: Vec<String>,
+    /// Back edges (channels leaving the loop's feedback kernels), as
+    /// `"Src.out -> Dst.in"`.
+    pub back_edges: Vec<String>,
+    /// Items the loop's feedback kernels prime before any input arrives.
+    pub initial_tokens: u64,
+    /// Derived capacity of each back edge.
+    pub capacity: usize,
+}
+
+/// Report of the capacity derivation pass: the resolved per-channel plan
+/// plus one human-readable entry per feedback loop that needed sizing.
+#[derive(Clone, Debug)]
+pub struct CapacityReport {
+    /// The per-channel plan the simulator resolves by default.
+    pub plan: ChannelCapacities,
+    /// Every primed feedback loop, with names (including loops whose
+    /// population already fits the flat default).
+    pub loops: Vec<LoopCapacity>,
+}
+
+/// Derive the per-channel capacity plan for a (compiled) graph and render
+/// the feedback-loop entries for reporting. Pure analysis — the simulator
+/// runs the same derivation itself when no explicit plan is configured, so
+/// this exists for visibility (`bpc`, compile summaries) rather than
+/// correctness.
+pub fn derive_capacities(graph: &AppGraph) -> CapacityReport {
+    let plan = derive_channel_capacities(graph);
+    let chan_name = |cid| {
+        let c = graph.channel(cid);
+        let src = graph.node(c.src.node);
+        let dst = graph.node(c.dst.node);
+        format!(
+            "{}.{} -> {}.{}",
+            src.name,
+            src.spec().outputs[c.src.port].name,
+            dst.name,
+            dst.spec().inputs[c.dst.port].name
+        )
+    };
+    let loops = feedback_loops(graph)
+        .into_iter()
+        .map(|lp| LoopCapacity {
+            nodes: lp
+                .nodes
+                .iter()
+                .map(|&id| graph.node(id).name.clone())
+                .collect(),
+            back_edges: lp.back_edges.iter().map(|&cid| chan_name(cid)).collect(),
+            initial_tokens: lp.initial_tokens,
+            capacity: lp.back_edge_capacity,
+        })
+        .collect();
+    CapacityReport { plan, loops }
 }
 
 /// Insert buffers on every grain-mismatched channel. Must run after
@@ -162,6 +226,54 @@ mod tests {
         assert_eq!(report.inserted.len(), 1);
         assert_eq!(report.inserted[0].window, Dim2::new(5, 5));
         assert_eq!(report.inserted[0].annotation(), "[12x10]");
+    }
+
+    #[test]
+    fn capacity_report_names_the_feedback_loop() {
+        // A temporal-IIR-shaped loop at 20x12: FrameDelay primes
+        // 20*12 + 12 + 1 = 253 items, so the back edge must grow to 254
+        // (the whole population parks there whenever external input
+        // pauses) while everything else keeps the default.
+        let dim = Dim2::new(20, 12);
+        let mut b = GraphBuilder::new();
+        let src = b.add_source("Input", k::pattern_source(dim), dim, 50.0);
+        let mix = b.add("Mix", k::add());
+        let half = b.add("Half", k::scale(0.5, 0.0));
+        let fb = b.add("FrameDelay", k::feedback_frame(dim, 0.0));
+        let (sdef, _h) = k::sink();
+        let snk = b.add("Out", sdef);
+        b.connect(src, "out", mix, "in0");
+        b.connect(fb, "out", mix, "in1");
+        b.connect(mix, "out", half, "in");
+        b.connect(half, "out", fb, "in");
+        b.connect(half, "out", snk, "in");
+        let g = b.build().unwrap();
+
+        let report = derive_capacities(&g);
+        assert_eq!(report.plan.default, 64);
+        assert_eq!(report.loops.len(), 1);
+        let lp = &report.loops[0];
+        assert_eq!(lp.nodes, ["Mix", "Half", "FrameDelay"]);
+        assert_eq!(lp.back_edges, ["FrameDelay.out -> Mix.in1"]);
+        assert_eq!(lp.initial_tokens, 253);
+        assert_eq!(lp.capacity, 254);
+        assert_eq!(report.plan.overrides().len(), 1);
+    }
+
+    #[test]
+    fn acyclic_capacity_report_has_no_loops() {
+        let dim = Dim2::new(8, 8);
+        let mut b = GraphBuilder::new();
+        let src = b.add_source("Input", k::pattern_source(dim), dim, 10.0);
+        let sc = b.add("Scale", k::scale(1.0, 0.0));
+        let (sdef, _h) = k::sink();
+        let snk = b.add("Out", sdef);
+        b.connect(src, "out", sc, "in");
+        b.connect(sc, "out", snk, "in");
+        let g = b.build().unwrap();
+        let report = derive_capacities(&g);
+        assert!(report.loops.is_empty());
+        assert!(report.plan.overrides().is_empty());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use bp_core::machine::{MachineSpec, Mapping};
 #[derive(Clone, Debug)]
 pub struct CheckViolation {
     /// Which invariant (short slug: `node-cpu`, `node-memory`, `pe-cpu`,
-    /// `pe-memory`, `grain`, `serial-overload`).
+    /// `pe-memory`, `grain`, `serial-overload`, `loop-liveness`).
     pub rule: String,
     /// Human-readable description.
     pub detail: String,
@@ -45,7 +45,10 @@ impl CheckReport {
 /// - every PE's resident set fits in compute and storage,
 /// - every non-sink channel has matching producer/consumer grains (the
 ///   invariant the buffering pass establishes),
-/// - serial kernels are not overloaded.
+/// - serial kernels are not overloaded,
+/// - every channel cycle contains a feedback kernel that primes at least
+///   one initial token (§III-D) — an unprimed cycle can never fire and
+///   would sit silent forever.
 pub fn check_compiled(
     graph: &AppGraph,
     df: &Dataflow,
@@ -146,6 +149,29 @@ pub fn check_compiled(
         }
     }
 
+    // Loop liveness (§III-D): a cycle whose members prime no initial
+    // tokens has nothing to circulate — no firing in it can ever trigger.
+    for comp in graph.cyclic_sccs() {
+        let primed: u64 = comp
+            .iter()
+            .map(|&id| graph.node(id).spec().initial_tokens)
+            .sum();
+        if primed == 0 {
+            let names: Vec<&str> = comp
+                .iter()
+                .map(|&id| graph.node(id).name.as_str())
+                .collect();
+            report.push(
+                "loop-liveness",
+                format!(
+                    "cycle [{}] primes no initial tokens; insert a feedback \
+                     kernel with initial values (§III-D)",
+                    names.join(", ")
+                ),
+            );
+        }
+    }
+
     report
 }
 
@@ -201,6 +227,59 @@ mod tests {
                 || report.violations.iter().any(|v| v.rule == "grain")
         );
         let _ = app;
+    }
+
+    #[test]
+    fn unprimed_cycle_fails_loop_liveness() {
+        use bp_core::{Dim2, GraphBuilder};
+        let dim = Dim2::new(8, 8);
+        // A feedback loop whose feedback kernel declares zero initial
+        // tokens: structurally valid, but nothing can ever circulate.
+        let mut fb = bp_kernels::feedback_frame(dim, 0.0);
+        fb.spec.initial_tokens = 0;
+        let mut b = GraphBuilder::new();
+        let src = b.add_source("Input", bp_kernels::pattern_source(dim), dim, 10.0);
+        let mix = b.add("Mix", bp_kernels::add());
+        let delay = b.add("Delay", fb);
+        let (sdef, _h) = bp_kernels::sink();
+        let snk = b.add("Out", sdef);
+        b.connect(src, "out", mix, "in0");
+        b.connect(delay, "out", mix, "in1");
+        b.connect(mix, "out", delay, "in");
+        b.connect(mix, "out", snk, "in");
+        let g = b.build().unwrap();
+        let df = analyze(&g).unwrap();
+        let machine = bp_core::MachineSpec::default_eval();
+        let mapping = bp_core::Mapping::one_to_one(g.node_count());
+        let report = check_compiled(&g, &df, &machine, &mapping);
+        let liveness: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| v.rule == "loop-liveness")
+            .collect();
+        assert_eq!(liveness.len(), 1, "{:?}", report.violations);
+        assert!(liveness[0].detail.contains("Mix"), "{:?}", liveness[0]);
+        assert!(liveness[0].detail.contains("Delay"), "{:?}", liveness[0]);
+
+        // The primed version of the same loop passes.
+        let mut b = GraphBuilder::new();
+        let src = b.add_source("Input", bp_kernels::pattern_source(dim), dim, 10.0);
+        let mix = b.add("Mix", bp_kernels::add());
+        let delay = b.add("Delay", bp_kernels::feedback_frame(dim, 0.0));
+        let (sdef, _h) = bp_kernels::sink();
+        let snk = b.add("Out", sdef);
+        b.connect(src, "out", mix, "in0");
+        b.connect(delay, "out", mix, "in1");
+        b.connect(mix, "out", delay, "in");
+        b.connect(mix, "out", snk, "in");
+        let g = b.build().unwrap();
+        let df = analyze(&g).unwrap();
+        let report = check_compiled(&g, &df, &machine, &mapping);
+        assert!(
+            !report.violations.iter().any(|v| v.rule == "loop-liveness"),
+            "{:?}",
+            report.violations
+        );
     }
 
     #[test]

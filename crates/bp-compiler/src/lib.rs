@@ -26,7 +26,9 @@ pub mod place;
 pub mod reuse;
 
 pub use align::{align, AlignPolicy, AlignReport};
-pub use buffering::{insert_buffers, BufferingReport};
+pub use buffering::{
+    derive_capacities, insert_buffers, BufferingReport, CapacityReport, LoopCapacity,
+};
 pub use check::{check_compiled, CheckReport, CheckViolation};
 pub use dataflow::{analyze, analyze_with, ChannelInfo, Dataflow, NodeAnalysis, Strictness};
 pub use fuse::{fuse_pipelines, FuseReport};

@@ -5,7 +5,7 @@
 //! buffering, data sizing, parallelization and processor mapping.
 
 use crate::align::{align, AlignPolicy, AlignReport};
-use crate::buffering::{insert_buffers, BufferingReport};
+use crate::buffering::{derive_capacities, insert_buffers, BufferingReport, CapacityReport};
 use crate::dataflow::{analyze, Dataflow};
 use crate::fuse::{fuse_pipelines, FuseReport};
 use crate::multiplex::{map, MappingKind};
@@ -94,6 +94,10 @@ pub struct CompileReport {
     pub align: AlignReport,
     /// Buffer insertions (§III-B).
     pub buffering: BufferingReport,
+    /// Feedback-aware channel-capacity derivation (§III-D) over the final
+    /// graph: the per-channel plan the simulator resolves by default, plus
+    /// one entry per primed feedback loop.
+    pub capacities: CapacityReport,
     /// Parallelization decisions (§IV).
     pub parallelize: ParallelizeReport,
     /// Pipeline fusions applied (§IV-B).
@@ -123,6 +127,7 @@ pub fn compile(graph: &AppGraph, opts: &CompileOptions) -> Result<Compiled> {
 
     let dataflow = analyze(&g)?;
     let mapping = map(&g, &dataflow, &opts.machine, opts.mapping);
+    let capacities = derive_capacities(&g);
 
     // Estimated utilization: total demand over allocated capacity.
     let total_demand: f64 = (0..g.node_count())
@@ -137,6 +142,7 @@ pub fn compile(graph: &AppGraph, opts: &CompileOptions) -> Result<Compiled> {
         report: CompileReport {
             align: align_report,
             buffering: buffering_report,
+            capacities,
             parallelize: parallelize_report,
             fuse: fuse_report,
             census,
@@ -173,6 +179,17 @@ pub fn summarize(c: &Compiled) -> String {
     }
     for (join, split) in &c.report.fuse.fused {
         s.push_str(&format!("fused pipeline lanes: {join} + {split}\n"));
+    }
+    for lp in &c.report.capacities.loops {
+        s.push_str(&format!(
+            "feedback loop [{}]: {} primed items, back edge {} sized to {} \
+             (default {})\n",
+            lp.nodes.join(", "),
+            lp.initial_tokens,
+            lp.back_edges.join(", "),
+            lp.capacity,
+            c.report.capacities.plan.default
+        ));
     }
     for p in &c.report.parallelize.plans {
         if p.granted > 1 {

@@ -311,6 +311,87 @@ impl AppGraph {
         Ok(order)
     }
 
+    /// Strongly connected components of the *data-channel* graph (feedback
+    /// edges included — unlike [`topo_order`](Self::topo_order), which cuts
+    /// them), via an iterative Tarjan walk. Components come back in reverse
+    /// topological order of the condensation with members sorted by id; the
+    /// order is fully deterministic for a given graph.
+    ///
+    /// Used by the feedback-aware capacity derivation
+    /// (`bp_core::capacity`) to find the channel loops that a feedback
+    /// kernel's primed population circulates through.
+    pub fn sccs(&self) -> Vec<Vec<NodeId>> {
+        let n = self.nodes.len();
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (_, c) in self.channels() {
+            succ[c.src.node.0].push(c.dst.node.0);
+        }
+        // Tarjan, iterative: `frame = (node, next successor index)`.
+        const UNSEEN: usize = usize::MAX;
+        let mut index = vec![UNSEEN; n];
+        let mut lowlink = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut comps: Vec<Vec<NodeId>> = Vec::new();
+        for root in 0..n {
+            if index[root] != UNSEEN {
+                continue;
+            }
+            let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+            while let Some(&(v, si)) = call.last() {
+                if si == 0 {
+                    index[v] = next_index;
+                    lowlink[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if let Some(&w) = succ[v].get(si) {
+                    call.last_mut().expect("frame present").1 += 1;
+                    if index[w] == UNSEEN {
+                        call.push((w, 0));
+                    } else if on_stack[w] {
+                        lowlink[v] = lowlink[v].min(index[w]);
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&(parent, _)) = call.last() {
+                        lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                    }
+                    if lowlink[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            comp.push(NodeId(w));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        comps.push(comp);
+                    }
+                }
+            }
+        }
+        comps
+    }
+
+    /// The cyclic strongly connected components: those with more than one
+    /// node, or a single node with a self-loop channel.
+    pub fn cyclic_sccs(&self) -> Vec<Vec<NodeId>> {
+        self.sccs()
+            .into_iter()
+            .filter(|comp| {
+                comp.len() > 1
+                    || self
+                        .channels()
+                        .any(|(_, c)| c.src.node == comp[0] && c.dst.node == comp[0])
+            })
+            .collect()
+    }
+
     /// Structural validation (§II):
     /// - every input port has exactly one incoming channel,
     /// - channel endpoints reference existing ports,

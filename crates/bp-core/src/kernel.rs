@@ -142,6 +142,11 @@ pub struct KernelSpec {
     pub custom_tokens: Vec<CustomTokenDecl>,
     /// How the node transforms the logical data shape (§III-A).
     pub shape: ShapeTransform,
+    /// Items this kernel's initialization primes into its output channels
+    /// before any input arrives (§III-D feedback kernels emit one frame of
+    /// initial values). This is the loop population the capacity derivation
+    /// (`bp_core::capacity`) must make room for; 0 for ordinary kernels.
+    pub initial_tokens: u64,
 }
 
 impl KernelSpec {
@@ -157,6 +162,7 @@ impl KernelSpec {
             state_words: 0,
             custom_tokens: Vec::new(),
             shape: ShapeTransform::Windowed,
+            initial_tokens: 0,
         }
     }
 
@@ -205,6 +211,13 @@ impl KernelSpec {
     /// Set the logical shape transform.
     pub fn with_shape(mut self, shape: ShapeTransform) -> Self {
         self.shape = shape;
+        self
+    }
+
+    /// Declare how many items this kernel's initialization primes into its
+    /// outputs before any input arrives (the feedback-loop population).
+    pub fn with_initial_tokens(mut self, items: u64) -> Self {
+        self.initial_tokens = items;
         self
     }
 

@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod capacity;
 pub mod error;
 pub mod geometry;
 pub mod graph;
@@ -33,6 +34,9 @@ pub mod port;
 pub mod rng;
 pub mod token;
 
+pub use capacity::{
+    derive_channel_capacities, derive_default_capacity, feedback_loops, ChannelCapacities, LoopInfo,
+};
 pub use error::{BpError, Result};
 pub use geometry::{Dim2, Offset2, Step2};
 pub use graph::{

@@ -46,6 +46,9 @@ pub fn feedback_frame(frame: Dim2, initial: f64) -> KernelDef {
     let spec = KernelSpec::new("feedback")
         .with_role(NodeRole::Feedback)
         .with_shape(ShapeTransform::Transparent)
+        // One window per sample, one EndOfLine per row, one EndOfFrame:
+        // the loop population the capacity derivation must accommodate.
+        .with_initial_tokens(frame.area() + frame.h as u64 + 1)
         .input(InputSpec::stream("in"))
         .output(OutputSpec::stream("out"))
         .method(MethodSpec::source(

@@ -17,6 +17,10 @@
 //!   delayed channels give conservative lookahead *within* a region, and
 //!   the event journals are merged by replay, so the report is bitwise
 //!   identical to [`timed`]'s (DESIGN.md §9, §11).
+//! - [`deadlock`]: structured capacity-deadlock diagnostics — the
+//!   [`DeadlockReport`] both timed engines assemble identically when a
+//!   simulation wedges, and the [`SimOutcome`] returned by their
+//!   `run_outcome` entry points.
 //! - [`events`]: the pending-event queues (calendar queue + binary-heap
 //!   reference) shared by the timed engines.
 //! - [`stats`]: per-PE utilization (run/read/write breakdown), throughput
@@ -33,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod deadlock;
 pub mod events;
 pub mod functional;
 pub mod parallel;
@@ -44,6 +49,7 @@ pub mod trace;
 
 pub use bp_core::{CommModel, CommProfile};
 pub use chrome::{chrome_trace_json, validate_json};
+pub use deadlock::{CapacityBump, DeadlockHop, DeadlockReport, SimOutcome};
 pub use events::{BucketQueue, Event, EventQueue, HeapQueue};
 pub use functional::FunctionalExecutor;
 pub use parallel::{run_batch, run_batch_with_workers};

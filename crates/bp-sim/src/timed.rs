@@ -38,11 +38,13 @@
 //! results can only differ if shard isolation is violated — which debug
 //! assertions on every node access check.
 
+use crate::deadlock::{CapacityBump, DeadlockHop, DeadlockReport, SimOutcome};
 use crate::events::{BucketQueue, EventQueue};
 use crate::parallel::DisjointSlots;
 use crate::runtime::{stuck_report, Action, Program, ProgramTables, RtNode};
 use crate::stats::{PeStats, RealTimeVerdict, SimReport};
 use crate::trace::{StallCause, Trace, TraceEvent, TraceMeta, TraceOptions, TraceRecorder};
+use bp_core::capacity::{derive_channel_capacities, ChannelCapacities};
 use bp_core::graph::AppGraph;
 use bp_core::item::Item;
 use bp_core::kernel::NodeRole;
@@ -77,11 +79,17 @@ pub struct SimConfig {
     /// delivers cross-PE pushes in the same cycle (the paper's §IV-D
     /// simplification) and reproduces every pre-model result bit for bit.
     pub comm: CommModel,
-    /// Capacity of each input queue in items. `None` (the default) derives
-    /// the capacity from the graph being simulated — see
-    /// [`derive_channel_capacity`]; [`with_channel_capacity`](Self::with_channel_capacity)
-    /// pins an explicit value instead.
+    /// Uniform capacity of each input queue in items.
+    /// [`with_channel_capacity`](Self::with_channel_capacity) pins every
+    /// channel to one explicit value, overriding both the derivation and
+    /// any per-channel plan in [`capacities`](Self::capacities).
     pub channel_capacity: Option<usize>,
+    /// Per-channel capacity plan (e.g. from the compiler's buffering pass).
+    /// `None` (the default) derives one from the graph being simulated —
+    /// the widest-row default of [`derive_channel_capacity`] plus
+    /// feedback-aware back-edge overrides
+    /// ([`bp_core::capacity::derive_channel_capacities`]).
+    pub capacities: Option<ChannelCapacities>,
     /// Frames to push through every application input.
     pub frames: u32,
     /// Event tracing (`None`, the default, records nothing and adds no
@@ -100,6 +108,7 @@ impl SimConfig {
             machine: MachineSpec::default_eval(),
             comm: CommModel::zero(),
             channel_capacity: None,
+            capacities: None,
             frames,
             trace: None,
         }
@@ -117,10 +126,22 @@ impl SimConfig {
         self
     }
 
-    /// Pin an explicit per-queue capacity instead of deriving it from the
-    /// graph.
+    /// Pin one explicit capacity for *every* queue instead of deriving a
+    /// plan from the graph. This disables the feedback-aware back-edge
+    /// sizing, so a feedback loop whose primed population exceeds what the
+    /// pinned value can hold will capacity-deadlock (and be diagnosed by a
+    /// [`crate::deadlock::DeadlockReport`]).
     pub fn with_channel_capacity(mut self, items: usize) -> Self {
         self.channel_capacity = Some(items);
+        self
+    }
+
+    /// Use an explicit per-channel capacity plan (keyed by the graph's
+    /// [`bp_core::ChannelId`]s). Ignored when
+    /// [`with_channel_capacity`](Self::with_channel_capacity) pinned a
+    /// uniform value.
+    pub fn with_channel_capacities(mut self, plan: ChannelCapacities) -> Self {
+        self.capacities = Some(plan);
         self
     }
 
@@ -141,13 +162,13 @@ impl SimConfig {
 /// consumes, so the capacity is that width rounded up to a power of two,
 /// with a floor of 64 items (the pre-derivation default; every bundled
 /// application's windows are narrower, so they are unaffected).
+///
+/// This is the *default* every channel gets; feedback back edges are
+/// additionally grown to hold their loop's primed population — see
+/// [`bp_core::capacity::derive_channel_capacities`], which the simulator
+/// applies when no explicit capacity is configured.
 pub fn derive_channel_capacity(graph: &AppGraph) -> usize {
-    let widest = graph
-        .nodes()
-        .flat_map(|(_, n)| n.spec().inputs.iter().map(|i| i.size.w as usize))
-        .max()
-        .unwrap_or(0);
-    widest.next_power_of_two().max(64)
+    bp_core::capacity::derive_default_capacity(graph)
 }
 
 /// What a pending simulator event does when it fires.
@@ -194,6 +215,9 @@ pub(crate) struct ChannelRt {
     /// Serialization cost per payload word (store-and-forward: items on one
     /// channel serialize behind each other at this rate).
     pub(crate) ser_per_word_s: f64,
+    /// Resolved buffer capacity of this channel in items (the plan default,
+    /// or a feedback back-edge override).
+    pub(crate) cap: usize,
 }
 
 /// Payload of a cross-shard communication message.
@@ -239,6 +263,10 @@ pub(crate) struct Shared {
     /// `chan_into[node][in_port]` is the channel feeding that port (graph
     /// validation guarantees at most one).
     pub(crate) chan_into: Vec<Vec<Option<u32>>>,
+    /// `cap_into[node][in_port]` is the resolved capacity of the queue on
+    /// that port (the feeding channel's capacity; the plan default for
+    /// unconnected ports), read on every space check.
+    pub(crate) cap_into: Vec<Vec<usize>>,
     /// Per node, the `(in_port, chan)` pairs fed by *delayed* channels —
     /// the ports whose consumption must return credits.
     pub(crate) delayed_in_ports: Vec<Vec<(usize, u32)>>,
@@ -249,7 +277,6 @@ pub(crate) struct Shared {
     pub(crate) residents: Vec<Vec<usize>>,
     pub(crate) node_roles: Vec<NodeRole>,
     pub(crate) machine: MachineSpec,
-    pub(crate) channel_capacity: usize,
     pub(crate) frames: u32,
     pub(crate) required_rate_hz: f64,
     pub(crate) num_sinks: usize,
@@ -270,9 +297,13 @@ pub(crate) fn build_shared(
             graph.node_count()
         )));
     }
-    let channel_capacity = config
-        .channel_capacity
-        .unwrap_or_else(|| derive_channel_capacity(graph));
+    // Resolve the capacity plan: an explicit uniform pin wins, then an
+    // explicit per-channel plan, then the feedback-aware derivation.
+    let plan = match (config.channel_capacity, config.capacities) {
+        (Some(uniform), _) => ChannelCapacities::uniform(uniform),
+        (None, Some(plan)) => plan,
+        (None, None) => derive_channel_capacities(graph),
+    };
     let program = Program::instantiate(graph)?;
     let (nodes, tables) = program.split();
     let n = nodes.len();
@@ -281,8 +312,12 @@ pub(crate) fn build_shared(
     let mut channels = Vec::new();
     let mut chan_into: Vec<Vec<Option<u32>>> =
         nodes.iter().map(|rt| vec![None; rt.queues.len()]).collect();
+    let mut cap_into: Vec<Vec<usize>> = nodes
+        .iter()
+        .map(|rt| vec![plan.default; rt.queues.len()])
+        .collect();
     let mut delayed_in_ports = vec![Vec::new(); n];
-    for (_, c) in graph.channels() {
+    for (cid, c) in graph.channels() {
         let (src, dst) = (c.src.node.0, c.dst.node.0);
         let latency_s = config.comm.channel_latency_s(
             mapping.pe_of_node[src],
@@ -292,6 +327,7 @@ pub(crate) fn build_shared(
         let delayed = latency_s > 0.0;
         let (src_port, dst_port) = (c.src.port, c.dst.port);
         let chan = channels.len() as u32;
+        let cap = plan.capacity(cid);
         channels.push(ChannelRt {
             src,
             src_port,
@@ -299,8 +335,10 @@ pub(crate) fn build_shared(
             dst_port,
             latency_s,
             ser_per_word_s: if delayed { config.comm.per_word_s } else { 0.0 },
+            cap,
         });
         chan_into[dst][dst_port] = Some(chan);
+        cap_into[dst][dst_port] = cap;
         if delayed {
             delayed_in_ports[dst].push((dst_port, chan));
         }
@@ -330,13 +368,13 @@ pub(crate) fn build_shared(
         upstream,
         channels,
         chan_into,
+        cap_into,
         delayed_in_ports,
         any_delayed,
         pe_of_node: mapping.pe_of_node.clone(),
         residents: mapping.residents(),
         node_roles,
         machine: config.machine,
-        channel_capacity,
         frames: config.frames,
         required_rate_hz,
         num_sinks,
@@ -513,7 +551,7 @@ impl<'a> ShardSim<'a> {
             source_progress: vec![0; shared.tables.sources.len()],
             budget_overruns: vec![0; n],
             node_max_queue: vec![0; n],
-            credits: vec![shared.channel_capacity as i64; num_chans],
+            credits: shared.channels.iter().map(|c| c.cap as i64).collect(),
             busy_until: vec![0.0; num_chans],
             wire: (0..num_chans).map(|_| VecDeque::new()).collect(),
             send_seq: vec![0; num_chans],
@@ -806,7 +844,7 @@ impl<'a> ShardSim<'a> {
             .iter()
             .any(|&(dn, dp)| match self.delayed_chan(dn, dp) {
                 Some(chan) => self.credits[chan as usize] <= 0,
-                None => self.node(dn).queues[dp].len() >= self.shared.channel_capacity,
+                None => self.node(dn).queues[dp].len() >= self.shared.cap_into[dn][dp],
             });
         if full {
             self.violations += 1;
@@ -1242,7 +1280,7 @@ impl<'a> ShardSim<'a> {
                         }
                     }
                     None => {
-                        if self.node(dn).queues[dp].len() + 2 > self.shared.channel_capacity {
+                        if self.node(dn).queues[dp].len() + 2 > self.shared.cap_into[dn][dp] {
                             return false;
                         }
                     }
@@ -1253,8 +1291,8 @@ impl<'a> ShardSim<'a> {
     }
 }
 
-/// Walk the wait-for graph of a capacity-deadlocked program and render the
-/// cycle of filled channels, by name.
+/// Walk the wait-for graph of a capacity-deadlocked program and return the
+/// cycle of filled channels as structured hops.
 ///
 /// A blocked node (fireable plan, all PEs idle) is waiting on its first
 /// output channel that fails the `downstream_space` check; following those
@@ -1262,10 +1300,14 @@ impl<'a> ShardSim<'a> {
 /// the wait-for cycle (in a feedback loop, the channel chain that filled)
 /// — or dead-ends. Pure reads only, and both engines call this on the same
 /// merged node state (including the merged sender-side credits for delayed
-/// channels), so the rendered diagnostic — channel names included — is
-/// identical between the sequential and parallel simulators.
-fn deadlock_wait_cycle(shared: &Shared, nodes: &[RtNode], credits: &[i64]) -> Option<String> {
-    use std::fmt::Write as _;
+/// channels), so the resulting hops — channel names, occupancies, and
+/// capacities included — are identical between the sequential and parallel
+/// simulators.
+fn deadlock_wait_cycle(
+    shared: &Shared,
+    nodes: &[RtNode],
+    credits: &[i64],
+) -> Option<Vec<DeadlockHop>> {
     let n = nodes.len();
     let blocked: Vec<bool> = (0..n)
         .map(|i| shared.node_roles[i] != NodeRole::Source && nodes[i].plan().is_some())
@@ -1288,7 +1330,7 @@ fn deadlock_wait_cycle(shared: &Shared, nodes: &[RtNode], credits: &[i64]) -> Op
             for &(dn, dp) in &shared.tables.routes[i][port] {
                 let full = match delayed_chan(dn, dp) {
                     Some(chan) => credits[chan as usize] < 2,
-                    None => nodes[dn].queues[dp].len() + 2 > shared.channel_capacity,
+                    None => nodes[dn].queues[dp].len() + 2 > shared.cap_into[dn][dp],
                 };
                 if full {
                     return Some((port, dn, dp));
@@ -1311,41 +1353,113 @@ fn deadlock_wait_cycle(shared: &Shared, nodes: &[RtNode], credits: &[i64]) -> Op
             cur = dst;
         }
         if blocked[cur] && pos[cur] != usize::MAX {
-            let mut s = String::new();
-            for (k, &(src, op, dst, ip)) in path[pos[cur]..].iter().enumerate() {
-                if k > 0 {
-                    s.push_str(", ");
-                }
+            let mut hops = Vec::with_capacity(path.len() - pos[cur]);
+            for &(src, op, dst, ip) in &path[pos[cur]..] {
+                let capacity = shared.cap_into[dst][ip];
                 // For a delayed channel, occupancy is capacity minus the
                 // sender's remaining credits (queued + in flight).
                 let occupancy = match delayed_chan(dst, ip) {
-                    Some(chan) => {
-                        (shared.channel_capacity as i64 - credits[chan as usize]).max(0) as usize
-                    }
+                    Some(chan) => (capacity as i64 - credits[chan as usize]).max(0) as usize,
                     None => nodes[dst].queues[ip].len(),
                 };
-                let _ = write!(
-                    s,
-                    "{}.{} -> {}.{} ({}/{} full)",
-                    nodes[src].name,
-                    nodes[src].spec.outputs[op].name,
-                    nodes[dst].name,
-                    nodes[dst].spec.inputs[ip].name,
+                hops.push(DeadlockHop {
+                    src: nodes[src].name.clone(),
+                    src_port: nodes[src].spec.outputs[op].name.clone(),
+                    dst: nodes[dst].name.clone(),
+                    dst_port: nodes[dst].spec.inputs[ip].name.clone(),
                     occupancy,
-                    shared.channel_capacity
-                );
+                    capacity,
+                });
             }
-            return Some(s);
+            return Some(hops);
+        }
+    }
+    None
+}
+
+/// One hop for a channel in the settled program, with its resolved
+/// capacity and occupancy (sender-side credit accounting for delayed
+/// channels, direct queue inspection otherwise).
+fn channel_hop(shared: &Shared, nodes: &[RtNode], credits: &[i64], ci: usize) -> DeadlockHop {
+    let c = &shared.channels[ci];
+    let capacity = c.cap;
+    let delayed = shared.any_delayed && c.latency_s > 0.0;
+    let occupancy = if delayed {
+        (capacity as i64 - credits[ci]).max(0) as usize
+    } else {
+        nodes[c.dst].queues[c.dst_port].len()
+    };
+    DeadlockHop {
+        src: nodes[c.src].name.clone(),
+        src_port: nodes[c.src].spec.outputs[c.src_port].name.clone(),
+        dst: nodes[c.dst].name.clone(),
+        dst_port: nodes[c.dst].spec.inputs[c.dst_port].name.clone(),
+        occupancy,
+        capacity,
+    }
+}
+
+/// When the blocked producers form a chain rather than a wait-for cycle
+/// (the chain's head is stuck behind a consumer legitimately waiting for
+/// external input — the parked-population deadlock of an under-sized
+/// feedback back edge), find the *structural* channel cycle through a
+/// blocked node: the loop whose circulating population no longer fits.
+/// Deterministic — blocked nodes are scanned in index order and the DFS
+/// explores channels in slot order — so both engines derive identical
+/// hops from the same merged state.
+fn starved_loop_cycle(
+    shared: &Shared,
+    nodes: &[RtNode],
+    credits: &[i64],
+) -> Option<Vec<DeadlockHop>> {
+    let n = nodes.len();
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (ci, c) in shared.channels.iter().enumerate() {
+        out[c.src].push(ci);
+    }
+    let blocked =
+        (0..n).filter(|&i| shared.node_roles[i] != NodeRole::Source && nodes[i].plan().is_some());
+    for start in blocked {
+        // Iterative DFS for the first channel path start -> ... -> start.
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)]; // (node, next edge)
+        let mut path: Vec<usize> = Vec::new(); // channel per stack frame after the first
+        let mut on_path = vec![false; n];
+        on_path[start] = true;
+        while let Some(&(v, ei)) = stack.last() {
+            if let Some(&ci) = out[v].get(ei) {
+                stack.last_mut().expect("frame present").1 += 1;
+                let dst = shared.channels[ci].dst;
+                if dst == start {
+                    path.push(ci);
+                    return Some(
+                        path.iter()
+                            .map(|&ci| channel_hop(shared, nodes, credits, ci))
+                            .collect(),
+                    );
+                }
+                if !on_path[dst] {
+                    on_path[dst] = true;
+                    path.push(ci);
+                    stack.push((dst, 0));
+                }
+            } else {
+                stack.pop();
+                on_path[v] = false;
+                if !stack.is_empty() {
+                    path.pop();
+                }
+            }
         }
     }
     None
 }
 
 /// Check the settled program for a capacity deadlock and build the final
-/// report. Used identically by the sequential and parallel simulators, with
-/// the latter feeding merged per-shard state.
+/// outcome — a completed [`SimReport`] or a structured [`DeadlockReport`].
+/// Used identically by the sequential and parallel simulators, with the
+/// latter feeding merged per-shard state.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn assemble_report(
+pub(crate) fn assemble_outcome(
     shared: &Shared,
     nodes: &[RtNode],
     stats: Vec<PeStats>,
@@ -1358,7 +1472,7 @@ pub(crate) fn assemble_report(
     budget_overruns: Vec<u64>,
     node_max_queue: Vec<usize>,
     credits: &[i64],
-) -> Result<SimReport> {
+) -> SimOutcome {
     // Everything settled. If any node still has a fireable plan, the
     // only thing that can have stopped it is downstream capacity — with
     // all PEs idle that is a genuine capacity deadlock. Residual items
@@ -1368,21 +1482,33 @@ pub(crate) fn assemble_report(
         .any(|i| shared.node_roles[i] != NodeRole::Source && nodes[i].plan().is_some());
     if deadlocked {
         let queued: usize = nodes.iter().map(|n| n.queued_items()).sum();
-        return Err(BpError::Simulation(
-            match deadlock_wait_cycle(shared, nodes, credits) {
-                Some(cycle) => format!(
-                    "capacity deadlock with {} items queued; wait-for cycle: {}\n{}",
-                    queued,
-                    cycle,
-                    stuck_report(nodes)
-                ),
-                None => format!(
-                    "capacity deadlock with {} items queued:\n{}",
-                    queued,
-                    stuck_report(nodes)
-                ),
-            },
-        ));
+        let (cycle, blocked_cycle) = match deadlock_wait_cycle(shared, nodes, credits) {
+            Some(hops) => (hops, true),
+            None => (
+                starved_loop_cycle(shared, nodes, credits).unwrap_or_default(),
+                false,
+            ),
+        };
+        // The full hop whose producer the smallest single-channel capacity
+        // increase would unblock: minimize `occupancy + 2 - capacity` over
+        // hops that are actually blocking (ties break to the earliest hop
+        // in walk order, deterministic on both engines).
+        let min_capacity_bump = cycle
+            .iter()
+            .filter(|h| h.occupancy + 2 > h.capacity)
+            .min_by_key(|h| h.occupancy + 2 - h.capacity)
+            .map(|h| CapacityBump {
+                channel: format!("{}.{} -> {}.{}", h.src, h.src_port, h.dst, h.dst_port),
+                current: h.capacity,
+                required: h.occupancy + 2,
+            });
+        return SimOutcome::Deadlocked(DeadlockReport {
+            queued_items: queued,
+            cycle,
+            blocked_cycle,
+            min_capacity_bump,
+            stuck: stuck_report(nodes),
+        });
     }
     let residual: u64 = nodes.iter().map(|n| n.queued_items() as u64).sum();
 
@@ -1426,7 +1552,7 @@ pub(crate) fn assemble_report(
             }
         }
     }
-    Ok(SimReport {
+    SimOutcome::Completed(SimReport {
         pe_stats: stats,
         node_firings: nodes.iter().map(|n| n.firings).collect(),
         node_busy,
@@ -1466,15 +1592,32 @@ impl TimedSimulator {
         Self { nodes, shared }
     }
 
-    /// Run the simulation to completion and report.
+    /// Run the simulation to completion and report. A capacity deadlock
+    /// becomes a simulation error carrying the rendered
+    /// [`DeadlockReport`]; use [`run_outcome`](Self::run_outcome) to get
+    /// the structured diagnosis instead.
     pub fn run(self) -> Result<SimReport> {
         self.run_with_trace().map(|(report, _)| report)
+    }
+
+    /// Run the simulation and report how it settled: completed, or
+    /// capacity-deadlocked with a structured [`DeadlockReport`].
+    pub fn run_outcome(self) -> SimOutcome {
+        self.run_outcome_with_trace().0
     }
 
     /// Run the simulation and also return the recorded [`Trace`] when
     /// [`SimConfig::trace`] was set (`None` otherwise). The report is
     /// bit-identical to [`run`](Self::run)'s — tracing is inert.
     pub fn run_with_trace(self) -> Result<(SimReport, Option<Trace>)> {
+        let (outcome, trace) = self.run_outcome_with_trace();
+        Ok((outcome.into_report()?, trace))
+    }
+
+    /// [`run_outcome`](Self::run_outcome), plus the recorded [`Trace`]
+    /// when tracing was enabled (recorded up to the point of settlement,
+    /// deadlocked or not).
+    pub fn run_outcome_with_trace(self) -> (SimOutcome, Option<Trace>) {
         let Self { nodes, shared } = self;
         // One shard owning every PE: the engine runs exactly the schedule
         // documented at the top of this module.
@@ -1502,7 +1645,7 @@ impl TimedSimulator {
                 dropped,
             }
         });
-        let report = assemble_report(
+        let settled = assemble_outcome(
             &shared,
             &nodes,
             outcome.stats,
@@ -1515,8 +1658,8 @@ impl TimedSimulator {
             outcome.budget_overruns,
             outcome.node_max_queue,
             &outcome.credits,
-        )?;
-        Ok((report, trace))
+        );
+        (settled, trace)
     }
 }
 
@@ -1571,11 +1714,29 @@ mod tests {
         let g = chain_graph(bp_kernels::scale(2.0, 0.0));
         let cfg = SimConfig::new(1).with_channel_capacity(16);
         assert_eq!(cfg.channel_capacity, Some(16));
-        // The override is what the simulator resolves, not the derived value.
+        // The uniform pin is what the simulator resolves, not the derived
+        // plan.
         let mapping = Mapping::one_to_one(g.node_count());
         let (_, shared) = build_shared(&g, &mapping, cfg).unwrap();
-        assert_eq!(shared.channel_capacity, 16);
+        assert!(shared.channels.iter().all(|c| c.cap == 16));
         let (_, shared) = build_shared(&g, &mapping, SimConfig::new(1)).unwrap();
-        assert_eq!(shared.channel_capacity, 64);
+        assert!(shared.channels.iter().all(|c| c.cap == 64));
+        // cap_into mirrors the per-channel resolution at the consumer side.
+        for c in &shared.channels {
+            assert_eq!(shared.cap_into[c.dst][c.dst_port], c.cap);
+        }
+    }
+
+    #[test]
+    fn explicit_plan_overrides_derivation_per_channel() {
+        let g = chain_graph(bp_kernels::scale(2.0, 0.0));
+        // Override one channel (the first) and keep the default elsewhere.
+        let (first_cid, _) = g.channels().next().unwrap();
+        let plan = bp_core::ChannelCapacities::uniform(64).with_override(first_cid, 96);
+        let cfg = SimConfig::new(1).with_channel_capacities(plan);
+        let mapping = Mapping::one_to_one(g.node_count());
+        let (_, shared) = build_shared(&g, &mapping, cfg).unwrap();
+        assert_eq!(shared.channels[0].cap, 96);
+        assert!(shared.channels[1..].iter().all(|c| c.cap == 64));
     }
 }

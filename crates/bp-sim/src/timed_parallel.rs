@@ -49,12 +49,13 @@
 //! reconstructing the exact global event order — and thus the exact
 //! `SimReport` — without touching any kernel state.
 
+use crate::deadlock::SimOutcome;
 use crate::events::{EventQueue, HeapQueue};
 use crate::parallel::DisjointSlots;
 use crate::runtime::RtNode;
 use crate::stats::{PeStats, SimReport};
 use crate::timed::{
-    assemble_report, build_shared, LogEntry, OutMsg, ShardLog, ShardOutcome, ShardSim, Shared,
+    assemble_outcome, build_shared, LogEntry, OutMsg, ShardLog, ShardOutcome, ShardSim, Shared,
     SimConfig, TimedSimulator,
 };
 use crate::trace::{Trace, TraceEvent, TraceMeta, TraceOptions, TraceRecorder};
@@ -155,9 +156,22 @@ impl ParallelTimedSimulator {
         self.plan.num_shards
     }
 
-    /// Run the simulation to completion and report.
+    /// Run the simulation to completion and report. A capacity deadlock
+    /// becomes a simulation error carrying the rendered
+    /// [`DeadlockReport`](crate::deadlock::DeadlockReport); use
+    /// [`run_outcome`](Self::run_outcome) for the structured diagnosis.
     pub fn run(self) -> Result<SimReport> {
         self.run_with_stats().map(|(report, _, _)| report)
+    }
+
+    /// Run the simulation and report how it settled: completed, or
+    /// capacity-deadlocked with a structured
+    /// [`DeadlockReport`](crate::deadlock::DeadlockReport). The outcome —
+    /// deadlock diagnosis included — is assembled from the merged shard
+    /// state and is bitwise identical to the sequential engine's at any
+    /// thread count.
+    pub fn run_outcome(self) -> SimOutcome {
+        self.run_outcome_with_stats().0
     }
 
     /// Run the simulation and also return the merged [`Trace`] when
@@ -174,20 +188,28 @@ impl ParallelTimedSimulator {
     /// Run and additionally return [`ParallelRunStats`] describing the
     /// parallel schedule (shards, lookahead, windows, per-shard events).
     pub fn run_with_stats(self) -> Result<(SimReport, Option<Trace>, ParallelRunStats)> {
+        let (outcome, trace, stats) = self.run_outcome_with_stats();
+        Ok((outcome.into_report()?, trace, stats))
+    }
+
+    /// [`run_outcome`](Self::run_outcome), plus the merged trace (when
+    /// tracing was enabled) and the [`ParallelRunStats`].
+    pub fn run_outcome_with_stats(self) -> (SimOutcome, Option<Trace>, ParallelRunStats) {
         let Self {
             nodes,
             shared,
             plan,
         } = self;
         if plan.num_shards <= 1 {
-            let (report, trace) = TimedSimulator::from_parts(nodes, shared).run_with_trace()?;
+            let (outcome, trace) =
+                TimedSimulator::from_parts(nodes, shared).run_outcome_with_trace();
             let stats = ParallelRunStats {
                 shards: 1,
                 lookahead_s: f64::INFINITY,
                 windows: 0,
                 shard_events: Vec::new(),
             };
-            return Ok((report, trace, stats));
+            return (outcome, trace, stats);
         }
         let n = nodes.len();
         let num_pes = shared.residents.len();
@@ -346,7 +368,7 @@ impl ParallelTimedSimulator {
                 .map(|o| o.log.as_ref().map_or(0, |l| l.main.len() as u64))
                 .collect(),
         };
-        let report = assemble_report(
+        let outcome = assemble_outcome(
             &shared,
             &nodes,
             stats,
@@ -359,8 +381,8 @@ impl ParallelTimedSimulator {
             budget_overruns,
             node_max_queue,
             &credits,
-        )?;
-        Ok((report, trace, run_stats))
+        );
+        (outcome, trace, run_stats)
     }
 }
 

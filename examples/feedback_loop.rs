@@ -2,20 +2,53 @@
 //! is the average of the current input frame and the previous output frame.
 //! The cycle is broken by a feedback kernel that primes the loop with an
 //! initial zero frame and then passes values through; the data-flow
-//! analysis handles the loop with its work-list traversal.
+//! analysis handles the loop with its work-list traversal, and the
+//! compiler's feedback-aware capacity derivation sizes the loop's back
+//! edge to hold the primed population — no manual
+//! `with_channel_capacity` override is needed to keep the loop live.
 //!
 //! Run with: `cargo run --example feedback_loop`
 
-use block_parallel::apps::{reference, temporal_iir};
+use block_parallel::apps::{reference, temporal_iir, SLOW, SMALL};
 use block_parallel::prelude::*;
 
 fn main() {
-    let dim = Dim2::new(6, 4);
-    let app = temporal_iir(dim, 25.0);
+    let dim = SMALL; // 20x12 — the loop primes 20*12 + 12 + 1 = 253 items
+    let app = temporal_iir(dim, SLOW);
     let compiled = compile(&app.graph, &CompileOptions::default()).expect("compiles");
     println!("{}", summarize(&compiled));
 
+    // The derivation found the loop and sized its back edge: the whole
+    // primed population parks there whenever input pauses, so the bound
+    // is population + 1 (the engine lets a producer fire while the
+    // destination holds at most capacity - 2 items).
+    for lp in &compiled.report.capacities.loops {
+        println!(
+            "derived: loop [{}] primes {} items -> back edge {} sized to {}",
+            lp.nodes.join(", "),
+            lp.initial_tokens,
+            lp.back_edges.join(", "),
+            lp.capacity
+        );
+    }
+
+    // Timed run under the *default* configuration: no capacity override
+    // anywhere. Before the derivation this deadlocked at the flat 64-item
+    // default once the loop had to park its 253 circulating items. (A
+    // fresh app instance, so its sink doesn't mix into the recurrence
+    // check below.)
     let frames = 5;
+    let timed_app = temporal_iir(dim, SLOW);
+    let timed = compile(&timed_app.graph, &CompileOptions::default()).expect("compiles");
+    let report = TimedSimulator::new(&timed.graph, &timed.mapping, SimConfig::new(frames))
+        .expect("instantiate")
+        .run()
+        .expect("the derived capacities keep the loop live");
+    println!(
+        "timed: {frames} frames in {:.6}s simulated, real-time met: {}\n",
+        report.sim_time, report.verdict.met
+    );
+
     let mut ex = FunctionalExecutor::new(&compiled.graph).expect("instantiate");
     ex.run_frames(frames).expect("run");
     // The final feedback frame legitimately keeps circulating.

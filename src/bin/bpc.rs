@@ -24,6 +24,8 @@ struct Args {
     dot: Option<String>,
     trace: Option<String>,
     comm: String,
+    capacity: Option<usize>,
+    explain_deadlock: bool,
     quiet: bool,
 }
 
@@ -32,12 +34,18 @@ fn usage() -> ! {
         "usage: bpc --app <fig1b|bayer|histogram|buffer-test|multi-conv|edge|fir|iir|analytics|stereo|camera-bank>\n\
          \x20          [--width N] [--height N] [--rate HZ] [--frames N]\n\
          \x20          [--policy trim|pad-zero|pad-mirror] [--mapping greedy|packed|one-to-one]\n\
-         \x20          [--dot FILE] [--trace FILE] [--comm-model SPEC] [--quiet]\n\
+         \x20          [--dot FILE] [--trace FILE] [--comm-model SPEC]\n\
+         \x20          [--capacity N] [--explain-deadlock] [--quiet]\n\
          \x20  --trace FILE  record a deterministic event trace and write it as\n\
          \x20                Chrome trace-event JSON (open in https://ui.perfetto.dev)\n\
          \x20  --comm-model  inter-PE communication delay (latencies in PE cycles):\n\
          \x20                zero (default) | uniform:LAT[:PER_WORD]\n\
-         \x20                | grid:BASE:PER_HOP[:PER_WORD]"
+         \x20                | grid:BASE:PER_HOP[:PER_WORD]\n\
+         \x20  --capacity N  pin every channel to N items, disabling the\n\
+         \x20                feedback-aware capacity derivation\n\
+         \x20  --explain-deadlock  on a capacity deadlock, print the structured\n\
+         \x20                diagnosis (wait-for cycle, occupancies, minimal\n\
+         \x20                capacity bump) and exit 0; exit 1 if no deadlock"
     );
     std::process::exit(2);
 }
@@ -54,6 +62,8 @@ fn parse_args() -> Args {
         dot: None,
         trace: None,
         comm: "zero".to_string(),
+        capacity: None,
+        explain_deadlock: false,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -95,6 +105,10 @@ fn parse_args() -> Args {
             "--dot" => args.dot = Some(value("--dot")),
             "--trace" => args.trace = Some(value("--trace")),
             "--comm-model" => args.comm = value("--comm-model"),
+            "--capacity" => {
+                args.capacity = Some(value("--capacity").parse().unwrap_or_else(|_| usage()))
+            }
+            "--explain-deadlock" => args.explain_deadlock = true,
             "--quiet" => args.quiet = true,
             "--help" | "-h" => usage(),
             other => {
@@ -199,12 +213,35 @@ fn main() -> ExitCode {
     let mut config = SimConfig::new(args.frames)
         .with_machine(opts.machine)
         .with_comm(comm);
+    if let Some(cap) = args.capacity {
+        config = config.with_channel_capacity(cap);
+    }
     if args.trace.is_some() {
         config = config.with_trace(TraceOptions::default());
     }
-    let sim = TimedSimulator::new(&compiled.graph, &compiled.mapping, config)
-        .and_then(|s| s.run_with_trace());
-    match sim {
+    let sim = match TimedSimulator::new(&compiled.graph, &compiled.mapping, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("simulation error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.explain_deadlock {
+        return match sim.run_outcome() {
+            SimOutcome::Deadlocked(d) => {
+                print_deadlock(&d);
+                ExitCode::SUCCESS
+            }
+            SimOutcome::Completed(report) => {
+                println!(
+                    "no capacity deadlock: {} frame(s) completed in {:.6}s",
+                    report.frames_completed, report.sim_time
+                );
+                ExitCode::FAILURE
+            }
+        };
+    }
+    match sim.run_with_trace() {
         Ok((report, trace)) => {
             let (run, read, write) = report.utilization_breakdown();
             println!(
@@ -240,6 +277,35 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Print the structured capacity-deadlock diagnosis: the wait-for cycle
+/// with per-channel occupancy, and the minimal single-channel capacity
+/// bump that would unblock a producer.
+fn print_deadlock(d: &DeadlockReport) {
+    println!("capacity deadlock: {} items queued", d.queued_items);
+    if d.cycle.is_empty() {
+        println!("no channel cycle found (a blocked chain dead-ends outside any loop)");
+    } else {
+        println!(
+            "{}:",
+            if d.blocked_cycle {
+                "wait-for cycle"
+            } else {
+                "starved feedback loop"
+            }
+        );
+        for hop in &d.cycle {
+            println!("  {}", hop.render());
+        }
+    }
+    if let Some(b) = &d.min_capacity_bump {
+        println!(
+            "minimal fix: grow '{}' from {} to {} items",
+            b.channel, b.current, b.required
+        );
+    }
+    print!("{}", d.stuck);
 }
 
 /// Export `trace` as Chrome trace-event JSON at `path`, validating the

@@ -56,8 +56,8 @@ pub mod prelude {
         Margins, PadMode, SinkHandle,
     };
     pub use bp_sim::{
-        chrome_trace_json, profile_node_weights, validate_json, FunctionalExecutor,
-        ParallelRunStats, ParallelTimedSimulator, SimConfig, SimReport, StallCause, TimedSimulator,
-        Trace, TraceOptions,
+        chrome_trace_json, profile_node_weights, validate_json, CapacityBump, DeadlockHop,
+        DeadlockReport, FunctionalExecutor, ParallelRunStats, ParallelTimedSimulator, SimConfig,
+        SimOutcome, SimReport, StallCause, TimedSimulator, Trace, TraceOptions,
     };
 }

@@ -154,9 +154,9 @@ fn zero_model_reproduces_pinned_goldens() {
 
 /// For every app × model × thread count, the parallel engine is bitwise
 /// identical to the sequential one: same fingerprint and same sink items
-/// on success, or the identical error string where the app deadlocks
-/// (`temporal_iir` capacity-deadlocks at this scale, with or without
-/// delay).
+/// on success, or the identical error string where an app deadlocks
+/// (none do by default now that feedback loops size their own back-edge
+/// capacities — the Err arm is kept for symmetry).
 #[test]
 fn parallel_matches_sequential_under_every_model() {
     for &name in EXAMPLE_APPS {
@@ -285,16 +285,30 @@ fn connected_app_fans_out_under_positive_lookahead() {
     assert_eq!(seq.expect("runs").fingerprint(), report.fingerprint());
 }
 
-/// `temporal_iir` capacity-deadlocks with or without delay; under a
-/// nonzero model the wait-for-cycle diagnostic must still name the
-/// feedback channels, identically on both engines (sender-side credit
-/// accounting replaces direct queue inspection for delayed channels).
+/// With feedback-aware capacity derivation, `temporal_iir` only
+/// deadlocks when an explicit uniform capacity pin disables the loop
+/// sizing. Under that pin and a nonzero model, the wait-for-cycle
+/// diagnostic must still name the feedback channels, identically on both
+/// engines (sender-side credit accounting replaces direct queue
+/// inspection for delayed channels).
 #[test]
 fn deadlock_diagnostic_is_stable_under_delay() {
     let comm = CommModel::uniform(64e-9, 1e-9);
-    let (seq, _) = run_seq("temporal_iir", &comm);
-    let seq_err = seq
-        .expect_err("temporal_iir deadlocks at SMALL/SLOW")
+    let run = |threads: Option<usize>| -> bp_core::Result<SimReport> {
+        let app = build_example("temporal_iir");
+        let compiled = compile(&app.graph, &CompileOptions::default()).expect("compile");
+        let config = config_with(&comm).with_channel_capacity(64);
+        match threads {
+            None => TimedSimulator::new(&compiled.graph, &compiled.mapping, config)
+                .expect("instantiate")
+                .run(),
+            Some(t) => ParallelTimedSimulator::new(&compiled.graph, &compiled.mapping, config, t)
+                .expect("instantiate")
+                .run(),
+        }
+    };
+    let seq_err = run(None)
+        .expect_err("temporal_iir deadlocks at SMALL/SLOW when pinned to 64")
         .to_string();
     assert!(
         seq_err.contains("wait-for cycle:"),
@@ -311,8 +325,7 @@ fn deadlock_diagnostic_is_stable_under_delay() {
         );
     }
     for threads in [2usize, 8] {
-        let (par, _) = run_par("temporal_iir", &comm, threads);
-        let par_err = par
+        let par_err = run(Some(threads))
             .expect_err("parallel engine must also deadlock")
             .to_string();
         assert_eq!(

@@ -188,9 +188,9 @@ fn parallel_timed_is_bitwise_identical_to_sequential() {
                         p.fingerprint(),
                         "{name} on {mname} with {threads} threads: SimReport diverged"
                     ),
-                    // temporal_iir legitimately capacity-deadlocks at this
-                    // scale (pre-existing behavior); both engines must
-                    // diagnose it identically.
+                    // No example deadlocks at default capacities any more
+                    // (feedback-aware derivation), but if one ever does,
+                    // both engines must diagnose it identically.
                     (Err(se), Err(pe)) => assert_eq!(
                         se.to_string(),
                         pe.to_string(),

@@ -142,11 +142,27 @@ fn parallel_trace_is_bitwise_identical_to_sequential() {
 }
 
 /// The upgraded capacity-deadlock diagnostic names the feedback channel
-/// cycle that filled, identically on both engines.
+/// cycle that filled, identically on both engines. The deadlock is now
+/// only reachable by pinning every channel to the historical uniform 64
+/// (the default feedback-aware derivation sizes the back edge so the
+/// loop drains).
 #[test]
 fn deadlock_error_names_the_feedback_cycle() {
-    let seq_err = run_sequential("temporal_iir", false)
-        .expect_err("temporal_iir capacity-deadlocks at SMALL/SLOW")
+    let run = |threads: Option<usize>| -> bp_core::Result<SimReport> {
+        let app = build_example("temporal_iir");
+        let compiled = compile(&app.graph, &CompileOptions::default()).expect("compile");
+        let config = SimConfig::new(FRAMES).with_channel_capacity(64);
+        match threads {
+            None => TimedSimulator::new(&compiled.graph, &compiled.mapping, config)
+                .expect("instantiate")
+                .run(),
+            Some(t) => ParallelTimedSimulator::new(&compiled.graph, &compiled.mapping, config, t)
+                .expect("instantiate")
+                .run(),
+        }
+    };
+    let seq_err = run(None)
+        .expect_err("temporal_iir capacity-deadlocks at SMALL/SLOW when pinned to 64")
         .to_string();
     assert!(
         seq_err.contains("wait-for cycle:"),
@@ -163,7 +179,7 @@ fn deadlock_error_names_the_feedback_cycle() {
         );
     }
     for threads in [2usize, 8] {
-        let par_err = run_parallel("temporal_iir", threads)
+        let par_err = run(Some(threads))
             .expect_err("parallel engine must also deadlock")
             .to_string();
         assert_eq!(seq_err, par_err, "engines' deadlock diagnostics diverged");

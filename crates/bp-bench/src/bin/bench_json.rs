@@ -11,8 +11,8 @@
 use bp_bench::{compile_and_simulate, extract_number, extract_object};
 use bp_compiler::{compile, CompileOptions, MappingKind};
 use bp_sim::{
-    run_batch, CommModel, FunctionalExecutor, ParallelTimedSimulator, SimConfig, SimReport,
-    TimedSimulator, TraceOptions,
+    run_batch, Backend, CommModel, FunctionalExecutor, ParallelTimedSimulator, SimConfig,
+    SimReport, TimedSimulator, TraceOptions,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -29,6 +29,14 @@ struct Throughput {
     windows_per_sec: f64,
 }
 
+fn backend_name(b: Backend) -> &'static str {
+    match b {
+        Backend::Auto => "auto",
+        Backend::Interpreted => "interpreted",
+        Backend::Compiled => "compiled",
+    }
+}
+
 fn median(mut v: Vec<f64>) -> f64 {
     v.sort_by(|a, b| a.partial_cmp(b).unwrap());
     v[v.len() / 2]
@@ -41,16 +49,19 @@ fn median(mut v: Vec<f64>) -> f64 {
 /// report; the fig1b pipeline is one connected component, so this mainly
 /// measures the parallel path's overhead). With `trace` set, event tracing
 /// records into a default-capacity ring during the measurement.
-fn bench_timed(threads: usize, trace: bool) -> Throughput {
+fn bench_timed(threads: usize, trace: bool, backend: Backend) -> Throughput {
     let app = bp_apps::fig1b(bp_apps::BIG, bp_apps::FAST);
     let opts = CompileOptions::default();
     let compiled = compile(&app.graph, &opts).expect("compile fig1b BIG/FAST");
-    let mut config = SimConfig::new(FRAMES).with_machine(opts.machine);
+    let mut config = SimConfig::new(FRAMES)
+        .with_machine(opts.machine)
+        .with_backend(backend);
     if trace {
         config = config.with_trace(TraceOptions::default());
     }
     let mut walls = Vec::with_capacity(SAMPLES);
     let mut firings = 0u64;
+    let mut fingerprint = 0u64;
     for s in 0..SAMPLES + 2 {
         let t0 = Instant::now();
         let report = if threads > 1 {
@@ -68,8 +79,14 @@ fn bench_timed(threads: usize, trace: bool) -> Throughput {
         let total: u64 = report.node_firings.iter().sum();
         if firings == 0 {
             firings = total;
+            fingerprint = report.fingerprint();
         }
         assert_eq!(total, firings, "timed simulation must be deterministic");
+        assert_eq!(
+            report.fingerprint(),
+            fingerprint,
+            "timed simulation must be deterministic"
+        );
         if s >= 2 {
             walls.push(wall); // first two samples are warm-up
         }
@@ -80,6 +97,109 @@ fn bench_timed(threads: usize, trace: bool) -> Throughput {
         firings,
         windows_per_sec: firings as f64 / wall,
     }
+}
+
+/// Interpreted-vs-compiled comparison on one workload: medians for both
+/// backends, with the fingerprints asserted identical (the compiled
+/// backend's defining invariant, DESIGN.md §13).
+struct BackendCompare {
+    label: &'static str,
+    detail: String,
+    frames: u32,
+    samples: usize,
+    interpreted_ms: f64,
+    compiled_ms: f64,
+    fingerprint: u64,
+}
+
+impl BackendCompare {
+    fn speedup(&self) -> f64 {
+        self.interpreted_ms / self.compiled_ms.max(1e-9)
+    }
+}
+
+/// Measure one compiled graph under both backends on the sequential timed
+/// engine, asserting report fingerprints match bit for bit.
+fn compare_backends(
+    label: &'static str,
+    detail: String,
+    compiled: &bp_compiler::Compiled,
+    machine: bp_core::MachineSpec,
+    frames: u32,
+    samples: usize,
+) -> BackendCompare {
+    let mut medians = [0.0f64; 2];
+    let mut fingerprints = [0u64; 2];
+    for (i, backend) in [Backend::Interpreted, Backend::Compiled]
+        .into_iter()
+        .enumerate()
+    {
+        let config = SimConfig::new(frames)
+            .with_machine(machine)
+            .with_backend(backend);
+        let mut walls = Vec::with_capacity(samples);
+        for s in 0..samples + 2 {
+            // Instantiate outside the timed region: setup cost (graph
+            // instantiation, and for the compiled backend the lowering
+            // pass) is a one-time cost per simulation, not part of the
+            // per-event execution rate the comparison measures.
+            let sim = TimedSimulator::new(&compiled.graph, &compiled.mapping, config.clone())
+                .expect("instantiate");
+            let t0 = Instant::now();
+            let report = sim.run().expect("run");
+            let wall = t0.elapsed().as_secs_f64();
+            fingerprints[i] = report.fingerprint();
+            if s >= 2 {
+                walls.push(wall * 1e3);
+            }
+        }
+        medians[i] = median(walls);
+    }
+    assert_eq!(
+        fingerprints[0], fingerprints[1],
+        "{label}: compiled-backend fingerprint diverged from interpreted"
+    );
+    BackendCompare {
+        label,
+        detail,
+        frames,
+        samples,
+        interpreted_ms: medians[0],
+        compiled_ms: medians[1],
+        fingerprint: fingerprints[0],
+    }
+}
+
+/// The backend comparison suite: the reference fig1b configuration plus the
+/// 384-PE camera bank (8 disjoint pipelines, mapped one-to-one).
+fn bench_backends() -> Vec<BackendCompare> {
+    let mut out = Vec::new();
+    let app = bp_apps::fig1b(bp_apps::BIG, bp_apps::FAST);
+    let opts = CompileOptions::default();
+    let compiled = compile(&app.graph, &opts).expect("compile fig1b BIG/FAST");
+    out.push(compare_backends(
+        "fig1b",
+        "40x24 @ 200 Hz".to_string(),
+        &compiled,
+        opts.machine,
+        FRAMES,
+        SAMPLES,
+    ));
+    let app = bp_apps::camera_bank(8, bp_apps::BIG, bp_apps::FAST);
+    let opts = CompileOptions {
+        mapping: MappingKind::OneToOne,
+        ..Default::default()
+    };
+    let compiled = compile(&app.graph, &opts).expect("compile camera_bank");
+    out.push(compare_backends(
+        "camera_bank",
+        format!("x8 40x24 @ 200 Hz, {} PEs", compiled.mapping.num_pes),
+        &compiled,
+        opts.machine,
+        2,
+        5,
+    ));
+    out
 }
 
 /// Comm-model measurement: fig1b (one connected component) under a uniform
@@ -237,6 +357,7 @@ fn bench_fig13() -> (Vec<SuiteRow>, f64) {
 }
 
 /// Render one snapshot (baseline or current) as a JSON object.
+#[allow(clippy::too_many_arguments)]
 fn snapshot_json(
     timed: &Throughput,
     traced: Option<&Throughput>,
@@ -245,6 +366,7 @@ fn snapshot_json(
     rows: &[SuiteRow],
     avg_imp: f64,
     threads: usize,
+    backend: Backend,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -252,9 +374,12 @@ fn snapshot_json(
         s,
         "    \"timed_primary\": {{ \"app\": \"fig1b\", \"dim\": \"40x24\", \"rate_hz\": 200.0, \
          \"frames\": {FRAMES}, \"samples\": {SAMPLES}, \"threads\": {threads}, \
-         \"wall_ms_median\": {:.3}, \
+         \"backend\": \"{}\", \"wall_ms_median\": {:.3}, \
          \"firings\": {}, \"windows_per_sec\": {:.1} }},",
-        timed.wall_ms_median, timed.firings, timed.windows_per_sec
+        backend_name(backend),
+        timed.wall_ms_median,
+        timed.firings,
+        timed.windows_per_sec
     );
     if let Some(tr) = traced {
         let overhead = 100.0 * (tr.wall_ms_median / timed.wall_ms_median.max(1e-9) - 1.0);
@@ -308,6 +433,8 @@ fn main() {
     let mut threads = 1usize;
     let mut trace = false;
     let mut assert_overhead: Option<f64> = None;
+    let mut assert_backend_speedup: Option<f64> = None;
+    let mut backend = Backend::Auto;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -318,11 +445,26 @@ fn main() {
                     .expect("--threads needs a positive integer");
             }
             "--trace" => trace = true,
+            "--backend" => {
+                backend = match args.next().as_deref() {
+                    Some("auto") => Backend::Auto,
+                    Some("interpreted") => Backend::Interpreted,
+                    Some("compiled") => Backend::Compiled,
+                    other => panic!("--backend needs auto|interpreted|compiled, got {other:?}"),
+                };
+            }
             "--assert-overhead" => {
                 assert_overhead = Some(
                     args.next()
                         .and_then(|v| v.parse().ok())
                         .expect("--assert-overhead needs a percentage"),
+                );
+            }
+            "--assert-backend-speedup" => {
+                assert_backend_speedup = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--assert-backend-speedup needs a ratio"),
                 );
             }
             other => out_path = other.to_string(),
@@ -331,16 +473,17 @@ fn main() {
 
     println!(
         "measuring timed-simulator throughput \
-         (fig1b 40x24 @ 200 Hz, {FRAMES} frames, {threads} thread(s))..."
+         (fig1b 40x24 @ 200 Hz, {FRAMES} frames, {threads} thread(s), {} backend)...",
+        backend_name(backend)
     );
-    let timed = bench_timed(threads, false);
+    let timed = bench_timed(threads, false, backend);
     println!(
         "  timed: median {:.3} ms, {} firings, {:.0} windows/s",
         timed.wall_ms_median, timed.firings, timed.windows_per_sec
     );
     let traced = trace.then(|| {
         println!("measuring timed-simulator throughput with event tracing enabled...");
-        let tr = bench_timed(threads, true);
+        let tr = bench_timed(threads, true, backend);
         println!(
             "  traced: median {:.3} ms ({:+.2}% vs untraced)",
             tr.wall_ms_median,
@@ -360,6 +503,20 @@ fn main() {
         "  comm: seq {:.3} ms, par {:.3} ms on {} shard(s), {} window(s)",
         comm.seq_wall_ms, comm.par_wall_ms, comm.shards, comm.windows
     );
+    println!("measuring interpreted vs compiled backends (fingerprint-asserted)...");
+    let backends = bench_backends();
+    for c in &backends {
+        println!(
+            "  {} ({}): interpreted {:.3} ms, compiled {:.3} ms ({:.2}x), \
+             fingerprint {:#018x}",
+            c.label,
+            c.detail,
+            c.interpreted_ms,
+            c.compiled_ms,
+            c.speedup(),
+            c.fingerprint
+        );
+    }
     println!("running Fig. 13 suite (22 parallel simulations)...");
     let (rows, avg_imp) = bench_fig13();
     println!("  fig13 average GM/1:1 utilization improvement: {avg_imp:.2}x");
@@ -372,6 +529,7 @@ fn main() {
         &rows,
         avg_imp,
         threads,
+        backend,
     );
 
     // Keep an existing committed baseline verbatim; otherwise this run is it.
@@ -392,9 +550,28 @@ fn main() {
 
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"bench_sim/v2\",\n");
+    out.push_str("  \"schema\": \"bench_sim/v3\",\n");
     let _ = writeln!(out, "  \"baseline\": {baseline},");
     let _ = writeln!(out, "  \"current\": {current},");
+    out.push_str("  \"backend_compare\": [\n");
+    for (i, c) in backends.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{ \"app\": \"{}\", \"config\": \"{}\", \"frames\": {}, \"samples\": {}, \
+             \"interpreted_wall_ms_median\": {:.3}, \"compiled_wall_ms_median\": {:.3}, \
+             \"compiled_speedup\": {:.3}, \"fingerprint\": \"{:#018x}\" }}{}",
+            c.label,
+            c.detail,
+            c.frames,
+            c.samples,
+            c.interpreted_ms,
+            c.compiled_ms,
+            c.speedup(),
+            c.fingerprint,
+            if i + 1 < backends.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ],\n");
     if let Some(scaling) = scaling {
         let _ = writeln!(out, "  \"sim_scaling\": {scaling},");
     }
@@ -416,5 +593,21 @@ fn main() {
             std::process::exit(1);
         }
         println!("overhead check passed: speedup {speedup:.3} >= {floor:.3}");
+    }
+
+    // CI guard: the compiled backend must beat the interpreter by at least
+    // the given ratio on the reference workload (fingerprints already
+    // asserted identical above).
+    if let Some(floor) = assert_backend_speedup {
+        let got = backends[0].speedup();
+        if got < floor {
+            eprintln!(
+                "FAIL: compiled-backend speedup {got:.3} on {} is below the \
+                 {floor:.3} floor (--assert-backend-speedup)",
+                backends[0].label
+            );
+            std::process::exit(1);
+        }
+        println!("backend speedup check passed: {got:.3} >= {floor:.3}");
     }
 }

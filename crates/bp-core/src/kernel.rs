@@ -310,6 +310,35 @@ impl<'a> FireData<'a> {
     pub fn raw(&self) -> &[(usize, Item)] {
         self.items
     }
+
+    /// The consumed item on the input with the given index — the
+    /// name-free counterpart of [`item`](Self::item), used by
+    /// [`KernelBehavior::fire_fast`] implementations. Panics if the input
+    /// was not part of this firing's trigger set.
+    #[inline]
+    pub fn item_at(&self, input_idx: usize) -> &Item {
+        self.items
+            .iter()
+            .find(|(i, _)| *i == input_idx)
+            .map(|(_, it)| it)
+            .unwrap_or_else(|| panic!("input index {input_idx} was not consumed by this firing"))
+    }
+
+    /// The consumed data window on the input with the given index.
+    #[inline]
+    pub fn window_at(&self, input_idx: usize) -> &Window {
+        self.item_at(input_idx)
+            .window()
+            .unwrap_or_else(|| panic!("input index {input_idx} received a control token, not data"))
+    }
+
+    /// The consumed control token on the input with the given index.
+    #[inline]
+    pub fn token_at(&self, input_idx: usize) -> ControlToken {
+        self.item_at(input_idx)
+            .control()
+            .unwrap_or_else(|| panic!("input index {input_idx} received data, not a control token"))
+    }
 }
 
 /// Collects items emitted by one method firing, keyed by output port index.
@@ -374,6 +403,28 @@ impl<'a> Emitter<'a> {
         self.emitted.push((output_idx, item));
     }
 
+    /// Emit a data window by output index — the name-free counterpart of
+    /// [`window`](Self::window), used by [`KernelBehavior::fire_fast`]
+    /// implementations.
+    #[inline]
+    pub fn window_at(&mut self, output_idx: usize, w: Window) {
+        debug_assert!(
+            output_idx < self.spec.outputs.len(),
+            "output index out of range"
+        );
+        self.emitted.push((output_idx, Item::Window(w)));
+    }
+
+    /// Emit a control token by output index.
+    #[inline]
+    pub fn token_at(&mut self, output_idx: usize, t: ControlToken) {
+        debug_assert!(
+            output_idx < self.spec.outputs.len(),
+            "output index out of range"
+        );
+        self.emitted.push((output_idx, Item::Control(t)));
+    }
+
     /// The emitted `(output index, item)` pairs, in emission order.
     pub fn into_items(self) -> Vec<(usize, Item)> {
         self.emitted
@@ -396,12 +447,41 @@ pub trait KernelBehavior: Send {
     /// Execute the named method.
     fn fire(&mut self, method: &str, data: &FireData<'_>, out: &mut Emitter<'_>);
 
+    /// Index-dispatched fast path for the compiled backend: execute the
+    /// method with the given *spec index* (position in
+    /// [`KernelSpec::methods`]) and return `true`, or return `false` to
+    /// fall back to the name-dispatched [`fire`](Self::fire).
+    ///
+    /// An implementation MUST be observationally identical to `fire` on
+    /// the same method — same emissions in the same order, same state
+    /// mutation, same reported cycles — because the interpreted backend
+    /// only ever calls `fire` and the two backends are required to produce
+    /// bit-identical simulation fingerprints. Implementations switch on
+    /// the method index and use the `*_at` index accessors on
+    /// [`FireData`] / [`Emitter`] to skip the per-firing name lookups.
+    /// The default keeps every existing kernel on the name path.
+    #[inline]
+    fn fire_fast(&mut self, _method: usize, _data: &FireData<'_>, _out: &mut Emitter<'_>) -> bool {
+        false
+    }
+
     /// Additional firing gate beyond trigger satisfaction. Used by FSM
     /// kernels (round-robin joins take inputs in order) and by kernels with
     /// initialization ordering (a convolution is not ready until its
     /// coefficients are loaded). Defaults to always ready.
     fn ready(&self, _method: &str) -> bool {
         true
+    }
+
+    /// Index-dispatched counterpart of [`ready`](Self::ready) for the
+    /// compiled backend's planner: `Some(r)` answers the gate for the
+    /// method with the given spec index, `None` (the default) falls back
+    /// to the name-dispatched `ready`. Implementations MUST agree with
+    /// `ready` on every method — the planners of the two backends are
+    /// required to make identical decisions.
+    #[inline]
+    fn ready_fast(&self, _method: usize) -> Option<bool> {
+        None
     }
 }
 

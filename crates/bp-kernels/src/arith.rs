@@ -29,6 +29,13 @@ impl KernelBehavior for Binary {
         let b = d.window("in1").as_scalar();
         out.window("out", Window::scalar((self.f)(a, b)));
     }
+
+    fn fire_fast(&mut self, _m: usize, d: &FireData<'_>, out: &mut Emitter<'_>) -> bool {
+        let a = d.window_at(0).as_scalar();
+        let b = d.window_at(1).as_scalar();
+        out.window_at(0, Window::scalar((self.f)(a, b)));
+        true
+    }
 }
 
 /// Per-pixel difference `in0 - in1` — the "Subtract" kernel of the paper's
@@ -70,6 +77,12 @@ impl KernelBehavior for Unary {
     fn fire(&mut self, _m: &str, d: &FireData<'_>, out: &mut Emitter<'_>) {
         let a = d.window("in").as_scalar();
         out.window("out", Window::scalar((self.f)(a)));
+    }
+
+    fn fire_fast(&mut self, _m: usize, d: &FireData<'_>, out: &mut Emitter<'_>) -> bool {
+        let a = d.window_at(0).as_scalar();
+        out.window_at(0, Window::scalar((self.f)(a)));
+        true
     }
 }
 

@@ -119,7 +119,7 @@ impl BufferBehavior {
             if x + 1 >= self.cw && (x + 1 - self.cw).is_multiple_of(self.sx) {
                 let ix = (x + 1 - self.cw) / self.sx;
                 if ix < self.iters_x() {
-                    out.window("out", self.build_window(ix, iy));
+                    out.window_at(0, self.build_window(ix, iy));
                     self.emitted_since_eol = true;
                     if ix + 1 == self.iters_x() {
                         self.next_iy = iy + 1;
@@ -154,7 +154,7 @@ impl BufferBehavior {
             while self.next_iy * self.sy + self.ch <= self.part_y {
                 let iy = self.next_iy;
                 for ix in 0..self.iters_x() {
-                    out.window("out", self.build_window(ix, iy));
+                    out.window_at(0, self.build_window(ix, iy));
                 }
                 self.emitted_since_eol = true;
                 self.next_iy += 1;
@@ -187,6 +187,32 @@ impl KernelBehavior for BufferBehavior {
             }
             other => panic!("buffer has no method '{other}'"),
         }
+    }
+
+    // Spec order: 0 = push, 1 = eol, 2 = eof.
+    fn fire_fast(&mut self, method: usize, d: &FireData<'_>, out: &mut Emitter<'_>) -> bool {
+        match method {
+            0 => {
+                let w = d.window_at(0);
+                if self.pw == 1 && self.ph == 1 {
+                    self.push_pixel(w.as_scalar(), out);
+                } else {
+                    self.push_block(w, out);
+                }
+            }
+            1 => {
+                if self.emitted_since_eol {
+                    out.token_at(0, ControlToken::EndOfLine);
+                    self.emitted_since_eol = false;
+                }
+            }
+            2 => {
+                out.token_at(0, ControlToken::EndOfFrame);
+                self.reset();
+            }
+            _ => return false,
+        }
+        true
     }
 }
 

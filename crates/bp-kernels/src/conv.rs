@@ -17,23 +17,29 @@ struct ConvBehavior {
     coeff: Option<Window>,
 }
 
+impl ConvBehavior {
+    fn convolve(&self, input: &Window) -> f64 {
+        let coeff = self
+            .coeff
+            .as_ref()
+            .expect("runConvolve fired before coefficients were loaded");
+        let mut acc = 0.0;
+        // True convolution: the kernel is flipped in both axes,
+        // matching the paper's Fig. 6 inner loop.
+        for y in 0..self.h {
+            for x in 0..self.w {
+                acc += input.get(x, y) * coeff.get(self.w - 1 - x, self.h - 1 - y);
+            }
+        }
+        acc
+    }
+}
+
 impl KernelBehavior for ConvBehavior {
     fn fire(&mut self, method: &str, d: &FireData<'_>, out: &mut Emitter<'_>) {
         match method {
             "runConvolve" => {
-                let input = d.window("in");
-                let coeff = self
-                    .coeff
-                    .as_ref()
-                    .expect("runConvolve fired before coefficients were loaded");
-                let mut acc = 0.0;
-                // True convolution: the kernel is flipped in both axes,
-                // matching the paper's Fig. 6 inner loop.
-                for y in 0..self.h {
-                    for x in 0..self.w {
-                        acc += input.get(x, y) * coeff.get(self.w - 1 - x, self.h - 1 - y);
-                    }
-                }
+                let acc = self.convolve(d.window("in"));
                 out.window("out", Window::scalar(acc));
             }
             "loadCoeff" => {
@@ -43,11 +49,28 @@ impl KernelBehavior for ConvBehavior {
         }
     }
 
+    // Spec order: 0 = runConvolve, 1 = loadCoeff.
+    fn fire_fast(&mut self, method: usize, d: &FireData<'_>, out: &mut Emitter<'_>) -> bool {
+        match method {
+            0 => {
+                let acc = self.convolve(d.window_at(0));
+                out.window_at(0, Window::scalar(acc));
+            }
+            1 => self.coeff = Some(d.window_at(1).clone()),
+            _ => return false,
+        }
+        true
+    }
+
     fn ready(&self, method: &str) -> bool {
         // Don't consume data windows until coefficients are present; the
         // compiler schedules the constant provider at startup so this only
         // delays the first firings.
         method != "runConvolve" || self.coeff.is_some()
+    }
+
+    fn ready_fast(&self, method: usize) -> Option<bool> {
+        Some(method != 0 || self.coeff.is_some())
     }
 }
 

@@ -24,6 +24,16 @@ impl HistogramBehavior {
         }
         self.bin_uppers.len() - 1
     }
+
+    /// Flush the frame's counts into a block window and reset them.
+    fn flush(&mut self) -> Window {
+        let n = self.counts.len() as u32;
+        let w = Window::from_fn(Dim2::new(n, 1), |x, _| self.counts[x as usize] as f64);
+        for c in self.counts.iter_mut() {
+            *c = 0;
+        }
+        w
+    }
 }
 
 impl KernelBehavior for HistogramBehavior {
@@ -39,11 +49,7 @@ impl KernelBehavior for HistogramBehavior {
                 // followed by an explicit end-of-frame so downstream
                 // per-frame kernels (the merge) stay frame-aligned however
                 // many parallel instances exist.
-                let n = self.counts.len() as u32;
-                let w = Window::from_fn(Dim2::new(n, 1), |x, _| self.counts[x as usize] as f64);
-                for c in self.counts.iter_mut() {
-                    *c = 0;
-                }
+                let w = self.flush();
                 out.window("out", w);
                 out.token("out", ControlToken::EndOfFrame);
             }
@@ -59,9 +65,39 @@ impl KernelBehavior for HistogramBehavior {
         }
     }
 
+    // Spec order: 0 = count, 1 = finishCount, 2 = ignoreEol,
+    // 3 = configureBins.
+    fn fire_fast(&mut self, method: usize, d: &FireData<'_>, out: &mut Emitter<'_>) -> bool {
+        match method {
+            0 => {
+                let v = d.window_at(0).as_scalar();
+                let bin = self.find_bin(v);
+                self.counts[bin] += 1;
+            }
+            1 => {
+                let w = self.flush();
+                out.window_at(0, w);
+                out.token_at(0, ControlToken::EndOfFrame);
+            }
+            2 => {}
+            3 => {
+                self.bin_uppers = d.window_at(1).samples().to_vec();
+                for c in self.counts.iter_mut() {
+                    *c = 0;
+                }
+            }
+            _ => return false,
+        }
+        true
+    }
+
     fn ready(&self, method: &str) -> bool {
         // Counting requires configured bin bounds.
         !matches!(method, "count" | "finishCount") || !self.bin_uppers.is_empty()
+    }
+
+    fn ready_fast(&self, method: usize) -> Option<bool> {
+        Some(!matches!(method, 0 | 1) || !self.bin_uppers.is_empty())
     }
 }
 
@@ -147,6 +183,34 @@ impl KernelBehavior for MergeBehavior {
             }
             other => panic!("merge has no method '{other}'"),
         }
+    }
+
+    // Spec order: 0 = accumulate, 1 = emit.
+    fn fire_fast(&mut self, method: usize, d: &FireData<'_>, out: &mut Emitter<'_>) -> bool {
+        match method {
+            0 => {
+                let w = d.window_at(0);
+                if self.acc.len() != w.samples().len() {
+                    self.acc = vec![0.0; w.samples().len()];
+                }
+                for (a, s) in self.acc.iter_mut().zip(w.samples()) {
+                    *a += *s;
+                }
+            }
+            1 => {
+                let n = self.acc.len() as u32;
+                let w = Window::from_fn(Dim2::new(n.max(1), 1), |x, _| {
+                    self.acc.get(x as usize).copied().unwrap_or(0.0)
+                });
+                for a in self.acc.iter_mut() {
+                    *a = 0.0;
+                }
+                out.window_at(0, w);
+                out.token_at(0, ControlToken::EndOfFrame);
+            }
+            _ => return false,
+        }
+        true
     }
 }
 

@@ -78,6 +78,33 @@ impl KernelBehavior for InsetBehavior {
             other => panic!("inset has no method '{other}'"),
         }
     }
+
+    // Spec order: 0 = filter, 1 = eol, 2 = eof.
+    fn fire_fast(&mut self, method: usize, d: &FireData<'_>, out: &mut Emitter<'_>) -> bool {
+        match method {
+            0 => {
+                let keep_col = self.x >= self.m.left && self.x < self.data.w - self.m.right;
+                if self.row_kept() && keep_col {
+                    out.window_at(0, Window::scalar(d.window_at(0).as_scalar()));
+                }
+                self.x += 1;
+            }
+            1 => {
+                if self.row_kept() {
+                    out.token_at(0, ControlToken::EndOfLine);
+                }
+                self.x = 0;
+                self.y += 1;
+            }
+            2 => {
+                out.token_at(0, ControlToken::EndOfFrame);
+                self.x = 0;
+                self.y = 0;
+            }
+            _ => return false,
+        }
+        true
+    }
 }
 
 /// An inset kernel trimming `margins` off a logical `data`-sized stream.

@@ -85,6 +85,25 @@ impl KernelBehavior for JoinRrBehavior {
         }
     }
 
+    // Spec order: 0..k-1 = take{i}, k = syncEol, k+1 = syncEof; input
+    // `in{i}` is input index `i`.
+    fn fire_fast(&mut self, method: usize, d: &FireData<'_>, out: &mut Emitter<'_>) -> bool {
+        if method < self.k {
+            debug_assert_eq!(method, self.state);
+            let w = d.window_at(method).clone();
+            out.window_at(0, w);
+            self.state = (self.state + 1) % self.k;
+        } else if method == self.k {
+            out.token_at(0, ControlToken::EndOfLine);
+        } else if method == self.k + 1 {
+            out.token_at(0, ControlToken::EndOfFrame);
+            self.state = 0;
+        } else {
+            return false;
+        }
+        true
+    }
+
     fn ready(&self, method: &str) -> bool {
         match method {
             m if m.starts_with("take") => {
@@ -93,6 +112,10 @@ impl KernelBehavior for JoinRrBehavior {
             }
             _ => true,
         }
+    }
+
+    fn ready_fast(&self, method: usize) -> Option<bool> {
+        Some(method >= self.k || method == self.state)
     }
 }
 
@@ -147,6 +170,29 @@ impl KernelBehavior for JoinColumnsBehavior {
         }
     }
 
+    // Spec order: 0..k-1 = take{i}, k = syncEol, k+1 = syncEof; input
+    // `in{i}` is input index `i`.
+    fn fire_fast(&mut self, method: usize, d: &FireData<'_>, out: &mut Emitter<'_>) -> bool {
+        let k = self.counts.len();
+        if method < k {
+            debug_assert_eq!(method, self.input);
+            let w = d.window_at(method).clone();
+            out.window_at(0, w);
+            self.advance();
+        } else if method == k {
+            out.token_at(0, ControlToken::EndOfLine);
+            self.input = 0;
+            self.taken = 0;
+        } else if method == k + 1 {
+            out.token_at(0, ControlToken::EndOfFrame);
+            self.input = 0;
+            self.taken = 0;
+        } else {
+            return false;
+        }
+        true
+    }
+
     fn ready(&self, method: &str) -> bool {
         match method {
             m if m.starts_with("take") => {
@@ -155,6 +201,10 @@ impl KernelBehavior for JoinColumnsBehavior {
             }
             _ => true,
         }
+    }
+
+    fn ready_fast(&self, method: usize) -> Option<bool> {
+        Some(method >= self.counts.len() || method == self.input)
     }
 }
 

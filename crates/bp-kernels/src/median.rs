@@ -10,20 +10,31 @@ struct MedianBehavior {
     scratch: Vec<f64>,
 }
 
-impl KernelBehavior for MedianBehavior {
-    fn fire(&mut self, _m: &str, d: &FireData<'_>, out: &mut Emitter<'_>) {
-        let input = d.window("in");
+impl MedianBehavior {
+    fn median_of(&mut self, input: &Window) -> f64 {
         self.scratch.clear();
         self.scratch.extend_from_slice(input.samples());
         self.scratch
             .sort_by(|a, b| a.partial_cmp(b).expect("median input must not be NaN"));
         let mid = self.scratch.len() / 2;
-        let v = if self.scratch.len() % 2 == 1 {
+        if self.scratch.len() % 2 == 1 {
             self.scratch[mid]
         } else {
             0.5 * (self.scratch[mid - 1] + self.scratch[mid])
-        };
+        }
+    }
+}
+
+impl KernelBehavior for MedianBehavior {
+    fn fire(&mut self, _m: &str, d: &FireData<'_>, out: &mut Emitter<'_>) {
+        let v = self.median_of(d.window("in"));
         out.window("out", Window::scalar(v));
+    }
+
+    fn fire_fast(&mut self, _m: usize, d: &FireData<'_>, out: &mut Emitter<'_>) -> bool {
+        let v = self.median_of(d.window_at(0));
+        out.window_at(0, Window::scalar(v));
+        true
     }
 }
 

@@ -163,6 +163,35 @@ impl KernelBehavior for PadBehavior {
             (other, _) => panic!("pad has no method '{other}'"),
         }
     }
+
+    // Spec order: 0 = push, 1 = eol, 2 = eof. Only the per-pixel zero-mode
+    // and mirror-mode `push` paths are specialized; row/frame-rate methods
+    // fall back to the name dispatch.
+    fn fire_fast(&mut self, method: usize, d: &FireData<'_>, out: &mut Emitter<'_>) -> bool {
+        if method != 0 {
+            return false;
+        }
+        match self.mode {
+            PadMode::Zero => {
+                if self.x == 0 && self.y == 0 {
+                    for _ in 0..self.m.top {
+                        self.emit_zero_row(out);
+                    }
+                }
+                if self.x == 0 {
+                    for _ in 0..self.m.left {
+                        out.window_at(0, Window::scalar(0.0));
+                    }
+                }
+                out.window_at(0, Window::scalar(d.window_at(0).as_scalar()));
+                self.x += 1;
+            }
+            PadMode::Mirror => {
+                self.cur.push(d.window_at(0).as_scalar());
+            }
+        }
+        true
+    }
 }
 
 /// A padding kernel adding `margins` around a logical `data`-sized stream

@@ -20,6 +20,15 @@ impl KernelBehavior for ReplicateBehavior {
             out.window(&format!("out{i}"), w.clone());
         }
     }
+
+    // Single method `copy`; output `out{i}` is output index `i`.
+    fn fire_fast(&mut self, _m: usize, d: &FireData<'_>, out: &mut Emitter<'_>) -> bool {
+        let w = d.window_at(0);
+        for i in 0..self.k {
+            out.window_at(i, w.clone());
+        }
+        true
+    }
 }
 
 /// Copy each incoming block (of the given grain) to all `k` outputs.

@@ -120,6 +120,11 @@ impl KernelBehavior for SinkBehavior {
     fn fire(&mut self, _m: &str, d: &FireData<'_>, _out: &mut Emitter<'_>) {
         self.handle.items.lock().unwrap().push(d.item("in").clone());
     }
+
+    fn fire_fast(&mut self, _m: usize, d: &FireData<'_>, _out: &mut Emitter<'_>) -> bool {
+        self.handle.items.lock().unwrap().push(d.item_at(0).clone());
+        true
+    }
 }
 
 /// An application output: collects every arriving item (data and tokens)

@@ -35,6 +35,22 @@ impl KernelBehavior for FrameSourceBehavior {
             }
         }
     }
+
+    fn fire_fast(&mut self, _m: usize, _d: &FireData<'_>, out: &mut Emitter<'_>) -> bool {
+        out.window_at(0, Window::scalar((self.gen)(self.f, self.x, self.y)));
+        self.x += 1;
+        if self.x == self.frame.w {
+            self.x = 0;
+            out.token_at(0, ControlToken::EndOfLine);
+            self.y += 1;
+            if self.y == self.frame.h {
+                self.y = 0;
+                self.f += 1;
+                out.token_at(0, ControlToken::EndOfFrame);
+            }
+        }
+        true
+    }
 }
 
 /// An application input emitting `frame`-sized images pixel by pixel in
@@ -76,6 +92,11 @@ struct ConstSourceBehavior {
 impl KernelBehavior for ConstSourceBehavior {
     fn fire(&mut self, _m: &str, _d: &FireData<'_>, out: &mut Emitter<'_>) {
         out.window("out", self.window.clone());
+    }
+
+    fn fire_fast(&mut self, _m: usize, _d: &FireData<'_>, out: &mut Emitter<'_>) -> bool {
+        out.window_at(0, self.window.clone());
+        true
     }
 }
 

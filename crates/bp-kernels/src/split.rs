@@ -79,6 +79,31 @@ impl KernelBehavior for SplitRrBehavior {
             other => panic!("split has no method '{other}'"),
         }
     }
+
+    // Spec order: 0 = dispatch, 1 = eol, 2 = eof; output `out{i}` is
+    // output index `i`.
+    fn fire_fast(&mut self, method: usize, d: &FireData<'_>, out: &mut Emitter<'_>) -> bool {
+        match method {
+            0 => {
+                let w = d.window_at(0).clone();
+                out.window_at(self.state, w);
+                self.state = (self.state + 1) % self.k;
+            }
+            1 => {
+                for i in 0..self.k {
+                    out.token_at(i, ControlToken::EndOfLine);
+                }
+            }
+            2 => {
+                for i in 0..self.k {
+                    out.token_at(i, ControlToken::EndOfFrame);
+                }
+                self.state = 0;
+            }
+            _ => return false,
+        }
+        true
+    }
 }
 
 /// Round-robin split across `k` replicas for items of the given grain.
@@ -146,6 +171,36 @@ impl KernelBehavior for SplitColumnsBehavior {
             }
             other => panic!("split has no method '{other}'"),
         }
+    }
+
+    // Spec order: 0 = dispatch, 1 = eol, 2 = eof; output `out{i}` is
+    // output index `i`.
+    fn fire_fast(&mut self, method: usize, d: &FireData<'_>, out: &mut Emitter<'_>) -> bool {
+        match method {
+            0 => {
+                let w = d.window_at(0);
+                for (i, r) in self.ranges.iter().enumerate() {
+                    if r.contains(self.x) {
+                        out.window_at(i, w.clone());
+                    }
+                }
+                self.x += 1;
+            }
+            1 => {
+                for i in 0..self.ranges.len() {
+                    out.token_at(i, ControlToken::EndOfLine);
+                }
+                self.x = 0;
+            }
+            2 => {
+                for i in 0..self.ranges.len() {
+                    out.token_at(i, ControlToken::EndOfFrame);
+                }
+                self.x = 0;
+            }
+            _ => return false,
+        }
+        true
     }
 }
 

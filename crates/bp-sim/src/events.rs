@@ -147,6 +147,13 @@ impl<P> EventQueue<P> for HeapQueue<P> {
 /// Ring size; a power of two so bucket indexing is a mask.
 const RING: usize = 1024;
 
+/// Pops between bucket-width retuning checkpoints. Large enough that the
+/// measured mean inter-pop delta is stable and the O(pending) rebuild
+/// amortizes to noise, small enough to catch a workload shift (e.g. the
+/// engine leaving its dense startup transient) within a few thousand
+/// events.
+const RETUNE_PERIOD: u32 = 4096;
+
 struct BucketEntry<P> {
     t: f64,
     seq: u64,
@@ -157,15 +164,34 @@ struct BucketEntry<P> {
 
 /// An index-min bucket (calendar) queue keyed on quantized time.
 ///
-/// `quantum` is the bucket width in simulated seconds — one PE cycle is a
-/// good choice, since firing durations are cycle-quantized plus fractional
-/// word costs. Events within the ring horizon (`RING` quanta ahead of the
-/// cursor) go into their bucket; further events wait in an overflow list
-/// that is drained ring-wise as the cursor crosses into each new "day"
-/// (one full ring revolution). A pop scans the cursor's bucket for the
-/// minimum `(t, seq)` among entries of the current key, so same-bucket
-/// events of different days or sub-quantum time offsets are still popped
-/// in exact order.
+/// `quantum` is the bucket width in simulated seconds; the constructor
+/// argument seeds it, and the queue then **self-tunes** it to the observed
+/// event spacing (see below). Events within the ring horizon (`RING`
+/// quanta ahead of the cursor) go into their bucket; further events wait
+/// in an overflow list that is drained ring-wise as the cursor crosses
+/// into each new "day" (one full ring revolution). A pop scans the
+/// cursor's bucket for the minimum `(t, seq)` among entries of the
+/// current key, so same-bucket events of different days or sub-quantum
+/// time offsets are still popped in exact order.
+///
+/// # Self-tuning bucket width
+///
+/// A calendar queue is only fast when the bucket width matches the event
+/// spacing: too narrow and typical deltas overshoot the ring horizon, so
+/// every push lands in the overflow list and every ring drain pays an
+/// O(overflow) migration scan; too wide and the pending set collapses
+/// into a few buckets whose linear min-scans recreate the heap's cost.
+/// The engine cannot pick a good width up front — it depends on the
+/// application's firing durations and source rates. So every
+/// [`RETUNE_PERIOD`] pops the queue measures the mean inter-pop time
+/// delta over the elapsed window (the classic calendar-queue rule:
+/// width ≈ mean gap ⇒ the cursor advances about one bucket per pop) and,
+/// when the current width is off by more than 2× either way, rebuilds the
+/// ring with the new width in O(pending). Retuning never changes pop
+/// order: the quantum only selects which bucket an entry waits in, and
+/// the pop scan always resolves exact `(t, seq)` order within the
+/// earliest occupied bucket, so any monotone re-bucketing pops the same
+/// sequence ([`tests`] pin this differentially against [`HeapQueue`]).
 pub struct BucketQueue<P> {
     buckets: Vec<Vec<BucketEntry<P>>>,
     /// One bit per ring bucket ("occupied"), so the cursor jumps straight
@@ -183,6 +209,15 @@ pub struct BucketQueue<P> {
     ring_len: usize,
     len: usize,
     seq: u64,
+    /// Timestamp of the most recent pop (0 before the first), the anchor
+    /// both for the next retune window and for the rebuilt cursor.
+    last_pop_t: f64,
+    /// Pops since the last retune checkpoint.
+    tune_pops: u32,
+    /// `last_pop_t` at the last checkpoint.
+    tune_t0: f64,
+    /// Completed bucket-width rebuilds (observability for tests/benches).
+    retunes: u64,
 }
 
 impl<P> BucketQueue<P> {
@@ -198,7 +233,22 @@ impl<P> BucketQueue<P> {
             ring_len: 0,
             len: 0,
             seq: 0,
+            last_pop_t: 0.0,
+            tune_pops: 0,
+            tune_t0: 0.0,
+            retunes: 0,
         }
+    }
+
+    /// The current bucket width in seconds (the constructor's seed until
+    /// the first retune).
+    pub fn quantum(&self) -> f64 {
+        1.0 / self.inv_quantum
+    }
+
+    /// How many times the queue has rebuilt itself with a retuned width.
+    pub fn retunes(&self) -> u64 {
+        self.retunes
     }
 
     #[inline]
@@ -239,6 +289,59 @@ impl<P> BucketQueue<P> {
             } else {
                 i += 1;
             }
+        }
+    }
+
+    /// Checkpoint the pop stream and, when the observed mean inter-pop
+    /// delta says the bucket width is off by more than 2× in either
+    /// direction, rebuild with the measured width. Called once per pop;
+    /// everything but the counter bump is amortized behind the
+    /// `RETUNE_PERIOD` gate.
+    #[inline]
+    fn maybe_retune(&mut self) {
+        self.tune_pops += 1;
+        if self.tune_pops < RETUNE_PERIOD {
+            return;
+        }
+        let span = self.last_pop_t - self.tune_t0;
+        self.tune_pops = 0;
+        self.tune_t0 = self.last_pop_t;
+        // An all-ties window (or a zero-span startup burst) measures no
+        // spacing; keep the current width rather than dividing by zero.
+        if span <= 0.0 {
+            return;
+        }
+        let target = span / RETUNE_PERIOD as f64;
+        let cur = 1.0 / self.inv_quantum;
+        // 2× hysteresis: bucket occupancy degrades linearly with the
+        // width ratio, so small drifts are not worth an O(pending)
+        // rebuild (and re-quantization churn) every checkpoint.
+        if target < 2.0 * cur && 2.0 * target > cur {
+            return;
+        }
+        self.rebuild(target);
+    }
+
+    /// Re-bucket every pending entry under a new quantum. The cursor moves
+    /// to the new quantization of the last popped time; entry keys clamp
+    /// to it exactly as pushes do, so the store invariants (keys in
+    /// `[cur_key, ∞)`, ring entries within the cursor's day) are restored
+    /// and pop order — resolved by exact `(t, seq)` within a bucket — is
+    /// untouched.
+    fn rebuild(&mut self, quantum: f64) {
+        self.retunes += 1;
+        self.inv_quantum = 1.0 / quantum;
+        let mut pending: Vec<BucketEntry<P>> = Vec::with_capacity(self.len);
+        for bucket in &mut self.buckets {
+            pending.append(bucket);
+        }
+        pending.append(&mut self.overflow);
+        self.occupied = [0; RING / 64];
+        self.ring_len = 0;
+        self.cur_key = self.quantize(self.last_pop_t);
+        for mut e in pending {
+            e.key = self.quantize(e.t).max(self.cur_key);
+            self.store(e);
         }
     }
 
@@ -330,6 +433,8 @@ impl<P> EventQueue<P> for BucketQueue<P> {
         }
         self.ring_len -= 1;
         self.len -= 1;
+        self.last_pop_t = e.t;
+        self.maybe_retune();
         Some(Event {
             t: e.t,
             seq: e.seq,
@@ -444,6 +549,44 @@ mod tests {
         let b = order(&mut bucket);
         assert_eq!(b, vec![1, 0, 2, 11, 10]);
         assert_eq!(b, order(&mut heap));
+    }
+
+    #[test]
+    fn retunes_toward_observed_spacing_without_reordering() {
+        // Seed the width three decades too narrow for the traffic (every
+        // delta is 1000–5000 quanta, so pushes overshoot the ring horizon
+        // constantly). The differential harness runs >> RETUNE_PERIOD ops,
+        // so the queue must retune — and keep popping in heap order while
+        // and after it does.
+        let deltas = [1.0e-3, 2.5e-3, 5.0e-3];
+        differential(1.0e-6, &deltas, 0xabcd, 9000);
+        // Observability: the same traffic, driven directly.
+        let mut q: BucketQueue<u32> = BucketQueue::new(1.0e-6);
+        let mut now = 0.0;
+        for i in 0..2 * RETUNE_PERIOD {
+            q.push(now + 1.0e-3, i);
+            now = q.pop().unwrap().t;
+        }
+        assert!(q.retunes() >= 1, "mis-seeded width was never retuned");
+        let w = q.quantum();
+        assert!(
+            w > 0.25e-3 && w < 4.0e-3,
+            "retuned width {w:e} is not near the 1e-3 observed spacing"
+        );
+    }
+
+    #[test]
+    fn width_stays_put_when_well_tuned() {
+        // Spacing equal to the seeded width: the measured target sits
+        // inside the 2x hysteresis band, so no rebuild should ever fire.
+        let mut q: BucketQueue<u32> = BucketQueue::new(1.0e-6);
+        let mut now = 0.0;
+        for i in 0..4 * RETUNE_PERIOD {
+            q.push(now + 1.0e-6, i);
+            now = q.pop().unwrap().t;
+        }
+        assert_eq!(q.retunes(), 0);
+        assert_eq!(q.quantum(), 1.0e-6);
     }
 
     #[test]

@@ -288,6 +288,72 @@ impl RtNode {
         out.into_items()
     }
 
+    /// [`fire_untriggered`](Self::fire_untriggered) through the behavior's
+    /// index-dispatched fast path (compiled backend), falling back to the
+    /// name dispatch when the kernel has none.
+    pub(crate) fn fire_untriggered_fast(&mut self, method: usize) -> Vec<(usize, Item)> {
+        self.firings += 1;
+        let out_storage = std::mem::take(&mut self.out_buf);
+        let RtNode {
+            ref spec,
+            ref mut behavior,
+            ..
+        } = *self;
+        let consumed: [(usize, Item); 0] = [];
+        let data = FireData::new(spec, &consumed);
+        let mut out = Emitter::with_buffer(spec, out_storage);
+        if !behavior.fire_fast(method, &data, &mut out) {
+            behavior.fire(&spec.methods[method].name, &data, &mut out);
+        }
+        out.into_items()
+    }
+
+    /// Run a direct-threaded fire routine (compiled backend) against this
+    /// node's queues, behavior, and recycled buffers. The returned vector
+    /// is the node's emit buffer — hand it back via
+    /// [`recycle_out_buf`](Self::recycle_out_buf) after routing, exactly
+    /// like [`execute_with_cost`](Self::execute_with_cost).
+    pub(crate) fn fire_threaded(
+        &mut self,
+        fire: &bp_codegen::FireFn,
+    ) -> (Vec<(usize, Item)>, bp_codegen::FireResult) {
+        self.firings += 1;
+        let mut consumed = std::mem::take(&mut self.consumed_buf);
+        let mut emitted = std::mem::take(&mut self.out_buf);
+        let res = fire(&mut bp_codegen::FireArgs {
+            spec: &self.spec,
+            queues: &mut self.queues,
+            behavior: self.behavior.as_mut(),
+            consumed: &mut consumed,
+            emitted: &mut emitted,
+        });
+        self.consumed_buf = consumed;
+        (emitted, res)
+    }
+
+    /// Direct-threaded token forward (compiled backend): pop the trigger
+    /// group's tokens and emit the token on every output — the lowered
+    /// equivalent of [`Action::Forward`] under
+    /// [`execute_with_cost`](Self::execute_with_cost).
+    pub(crate) fn forward_threaded(
+        &mut self,
+        tm: &bp_codegen::ThreadedMethod,
+        token: ControlToken,
+    ) -> Vec<(usize, Item)> {
+        self.firings += 1;
+        for &p in &tm.trigger_ports {
+            let popped = self.queues[p]
+                .pop_front()
+                .expect("planned token disappeared");
+            debug_assert!(matches!(popped, Item::Control(t) if t == token));
+            drop(popped);
+        }
+        let mut out = std::mem::take(&mut self.out_buf);
+        out.clear();
+        out.extend(tm.outputs.iter().map(|&o| (o, Item::Control(token))));
+        out
+    }
+
     /// Return a drained emit buffer to this node for reuse by its next
     /// firing.
     pub fn recycle_out_buf(&mut self, mut buf: Vec<(usize, Item)>) {

@@ -70,11 +70,37 @@ pub(crate) fn band1_ord(stream: u64, seq: u32) -> u64 {
     BAND1 | (stream << 32) | seq as u64
 }
 
+/// Execution backend for the timed engines.
+///
+/// Both backends run the *same* discrete-event schedule and must produce
+/// bitwise-identical [`SimReport`]s (fingerprints included) and traces; the
+/// interpreted engine is the oracle, the compiled one the fast path
+/// (DESIGN.md §13). The compiled backend replaces the interpreter's
+/// per-firing linear trigger scan and string-keyed dispatch with
+/// `bp-codegen`'s direct-threaded routines: mask-based readiness planning,
+/// arity-specialized fire closures, and routing/space/credit tables
+/// devirtualized into pre-resolved slot indices at simulator-build time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// Pick automatically: compiled in release builds, interpreted when
+    /// debug assertions are on (so debug runs exercise the oracle).
+    #[default]
+    Auto,
+    /// The original interpreted engine (`RtNode::plan` + `execute_with_cost`).
+    Interpreted,
+    /// Direct-threaded routines lowered by [`bp_codegen::lower_graph`].
+    /// Construction fails if the graph cannot be lowered (a kernel with
+    /// more than 64 input ports).
+    Compiled,
+}
+
 /// Timed simulation parameters.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
     /// Target machine.
     pub machine: MachineSpec,
+    /// Execution backend (default [`Backend::Auto`]).
+    pub backend: Backend,
     /// Inter-PE communication delay model. The default, [`CommModel::zero`],
     /// delivers cross-PE pushes in the same cycle (the paper's §IV-D
     /// simplification) and reproduces every pre-model result bit for bit.
@@ -106,12 +132,19 @@ impl SimConfig {
     pub fn new(frames: u32) -> Self {
         Self {
             machine: MachineSpec::default_eval(),
+            backend: Backend::Auto,
             comm: CommModel::zero(),
             channel_capacity: None,
             capacities: None,
             frames,
             trace: None,
         }
+    }
+
+    /// Select the execution backend (default [`Backend::Auto`]).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Use a specific machine.
@@ -247,6 +280,90 @@ struct Inflight {
     write_s: f64,
 }
 
+/// One pre-resolved routing destination for the compiled backend: the
+/// interpreter's per-push `delayed_chan`/`node_roles` lookups folded into
+/// the table at simulator-build time.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RouteDest {
+    pub(crate) dn: u32,
+    pub(crate) dp: u32,
+    /// Delayed channel carrying this edge, or `u32::MAX` for direct
+    /// same-cycle delivery into the destination queue.
+    pub(crate) chan: u32,
+    /// Destination is a sink (EOF arrival timestamps are recorded).
+    pub(crate) sink: bool,
+}
+
+/// One pre-resolved downstream-space check for the compiled backend — the
+/// flattened form of the interpreter's `downstream_space` scan for one
+/// method, in identical order.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum SpaceCheck {
+    /// Delayed edge: the sender-side credit count must be ≥ 2.
+    Credit {
+        /// Channel index into [`Shared::channels`].
+        chan: u32,
+    },
+    /// Direct edge: the destination queue must have 2 items of headroom.
+    Queue { dn: u32, dp: u32, cap: u32 },
+}
+
+/// Everything the compiled backend precomputes per graph + mapping +
+/// config: the lowered program (graph-only facts) plus the devirtualized
+/// routing/space/credit/cost tables (mapping- and machine-dependent).
+/// Read-only at run time and shared by all shards.
+pub(crate) struct CompiledTables {
+    /// The direct-threaded program: per-node masks and fire routines.
+    pub(crate) program: bp_codegen::ThreadedProgram,
+    /// `dests[node][out_port]` — fused destination records in route order.
+    pub(crate) dests: Vec<Vec<Vec<RouteDest>>>,
+    /// `space[node][method]` — flattened downstream-space checks.
+    pub(crate) space: Vec<Vec<Vec<SpaceCheck>>>,
+    /// `run_s[node][method]` — declared cost in seconds, precomputed by the
+    /// same `cycles as f64 / pe_clock_hz` the interpreter evaluates per
+    /// firing (identical operation ⇒ identical bits). Used only when the
+    /// behavior's actual cycles equal the declared cost; otherwise the
+    /// division runs live, exactly like the interpreter.
+    pub(crate) run_s: Vec<Vec<f64>>,
+    /// `credit_chans[node][method]` — delayed channels to credit after a
+    /// firing, in trigger order (duplicate trigger ports preserved).
+    pub(crate) credit_chans: Vec<Vec<Vec<u32>>>,
+    /// Declared seconds of a token forward (1 cycle), precomputed once.
+    pub(crate) forward_run_s: f64,
+    /// `method_base[node] + method` is the flat per-method slot used to
+    /// index the shard's read/write-cost memo cache.
+    pub(crate) method_base: Vec<u32>,
+    /// Total method slots across all nodes (the memo cache's length).
+    pub(crate) num_method_slots: usize,
+}
+
+/// Per-method memo of the last read/write word-cost conversions (compiled
+/// backend). Word counts are data-dependent but almost always repeat
+/// (window shapes are static per port), and IEEE-754 division is
+/// deterministic, so reusing the quotient computed for the *same* word
+/// count is bitwise identical to the interpreter's per-firing division —
+/// it just skips two `f64` divides on the hot path.
+#[derive(Clone, Copy)]
+struct RwMemo {
+    read_words: u64,
+    read_s: f64,
+    write_words: u64,
+    write_s: f64,
+}
+
+impl Default for RwMemo {
+    fn default() -> Self {
+        // `u64::MAX` words can never be observed (it would overflow every
+        // window allocation), so the first firing always misses.
+        Self {
+            read_words: u64::MAX,
+            read_s: 0.0,
+            write_words: u64::MAX,
+            write_s: 0.0,
+        }
+    }
+}
+
 /// Everything the event loop reads but never writes, shared by all shards:
 /// routing/pacing tables, the mapping, and resolved configuration.
 pub(crate) struct Shared {
@@ -281,6 +398,8 @@ pub(crate) struct Shared {
     pub(crate) required_rate_hz: f64,
     pub(crate) num_sinks: usize,
     pub(crate) trace: Option<TraceOptions>,
+    /// Direct-threaded execution tables; `None` runs the interpreter.
+    pub(crate) compiled: Option<CompiledTables>,
 }
 
 /// Instantiate `graph` under `mapping` and resolve `config` into the node
@@ -353,6 +472,107 @@ pub(crate) fn build_shared(
         }
     }
     let node_roles: Vec<NodeRole> = nodes.iter().map(|rt| rt.spec.role).collect();
+    // Lower to the direct-threaded backend when requested (or in release
+    // builds under `Auto`). All tables mirror an interpreted scan exactly;
+    // see DESIGN.md §13 for the invariants.
+    let want_compiled = match config.backend {
+        Backend::Interpreted => false,
+        Backend::Compiled => true,
+        Backend::Auto => !cfg!(debug_assertions),
+    };
+    let compiled = if want_compiled {
+        let program = match bp_codegen::lower_graph(graph) {
+            Ok(p) => Some(p),
+            // `Auto` falls back to the interpreter on an unlowerable graph;
+            // an explicit request surfaces the error.
+            Err(e) if config.backend == Backend::Compiled => return Err(e),
+            Err(_) => None,
+        };
+        program.map(|program| {
+            let delayed_chan = |dn: usize, dp: usize| -> Option<u32> {
+                if !any_delayed {
+                    return None;
+                }
+                chan_into[dn][dp].filter(|&c| channels[c as usize].latency_s > 0.0)
+            };
+            let dests: Vec<Vec<Vec<RouteDest>>> = (0..n)
+                .map(|node| {
+                    tables.routes[node]
+                        .iter()
+                        .map(|port_routes| {
+                            port_routes
+                                .iter()
+                                .map(|&(dn, dp)| RouteDest {
+                                    dn: dn as u32,
+                                    dp: dp as u32,
+                                    chan: delayed_chan(dn, dp).unwrap_or(u32::MAX),
+                                    sink: node_roles[dn] == NodeRole::Sink,
+                                })
+                                .collect()
+                        })
+                        .collect()
+                })
+                .collect();
+            let clock = config.machine.pe_clock_hz;
+            let mut space = Vec::with_capacity(n);
+            let mut run_s = Vec::with_capacity(n);
+            let mut credit_chans = Vec::with_capacity(n);
+            for (node, tn) in program.nodes.iter().enumerate() {
+                let mut node_space = Vec::with_capacity(tn.methods.len());
+                let mut node_run_s = Vec::with_capacity(tn.methods.len());
+                let mut node_credits = Vec::with_capacity(tn.methods.len());
+                for tm in &tn.methods {
+                    let mut checks = Vec::new();
+                    for &port in &tm.outputs {
+                        for &(dn, dp) in &tables.routes[node][port] {
+                            checks.push(match delayed_chan(dn, dp) {
+                                Some(chan) => SpaceCheck::Credit { chan },
+                                None => SpaceCheck::Queue {
+                                    dn: dn as u32,
+                                    dp: dp as u32,
+                                    cap: cap_into[dn][dp] as u32,
+                                },
+                            });
+                        }
+                    }
+                    node_space.push(checks);
+                    node_run_s.push(tm.cost_cycles as f64 / clock);
+                    node_credits.push(
+                        tm.trigger_ports
+                            .iter()
+                            .filter_map(|&p| {
+                                delayed_in_ports[node]
+                                    .iter()
+                                    .find(|&&(dp, _)| dp == p)
+                                    .map(|&(_, chan)| chan)
+                            })
+                            .collect(),
+                    );
+                }
+                space.push(node_space);
+                run_s.push(node_run_s);
+                credit_chans.push(node_credits);
+            }
+            let mut method_base = Vec::with_capacity(n);
+            let mut num_method_slots = 0usize;
+            for tn in &program.nodes {
+                method_base.push(num_method_slots as u32);
+                num_method_slots += tn.methods.len();
+            }
+            CompiledTables {
+                program,
+                dests,
+                space,
+                run_s,
+                credit_chans,
+                forward_run_s: 1.0 / clock,
+                method_base,
+                num_method_slots,
+            }
+        })
+    } else {
+        None
+    };
     let num_sinks = node_roles
         .iter()
         .filter(|r| **r == NodeRole::Sink)
@@ -379,6 +599,7 @@ pub(crate) fn build_shared(
         required_rate_hz,
         num_sinks,
         trace: config.trace,
+        compiled,
     };
     Ok((nodes, shared))
 }
@@ -509,6 +730,39 @@ pub(crate) struct ShardSim<'a> {
     entry_push_base: usize,
     entry_eof_base: usize,
     entry_start_base: usize,
+    /// Compiled backend only: bit `p` set when the node's input queue `p`
+    /// currently has a window at its head. Maintained incrementally at
+    /// every queue mutation; [`bp_codegen::head_masks`] is the oracle
+    /// (checked before every compiled plan under debug assertions).
+    head_data: Vec<u64>,
+    /// As [`head_data`](Self::head_data), for control tokens.
+    head_ctrl: Vec<u64>,
+    /// Compiled backend only: recycled routing scratch (the interpreter
+    /// allocates a fresh `touched` vector per routed firing).
+    touched_buf: Vec<usize>,
+    /// Compiled backend only: recycled dispatch worklist for the
+    /// single-PE waves of arrival/credit events.
+    wave_buf: Vec<usize>,
+    /// Compiled backend only: one bit per PE, set while the PE sits in the
+    /// current dispatch worklist — O(1) membership for the dedup the
+    /// interpreter does with `Vec::contains`. Insertions set the bit, pops
+    /// clear it, so the mask is all-zero between waves (the unconditional
+    /// own-PE push in `handle_pe_done` bypasses the mask; pops tolerate
+    /// the resulting duplicate exactly as the interpreter does).
+    wave_mask: Vec<u64>,
+    /// Compiled backend only: per-method [`RwMemo`] slots (flat-indexed
+    /// via `CompiledTables::method_base`).
+    rw_memo: Vec<RwMemo>,
+    /// Compiled backend only: true when the node's last plan succeeded but
+    /// `space_ok` declined it, so it is waiting on downstream consumption.
+    /// The untraced dispatcher wakes upstream PEs only for flagged nodes —
+    /// a firing's consumption is the *only* new information an upstream
+    /// wake carries (data arrivals wake destinations through the routing
+    /// path, and a fireable-with-space resident was already started, or
+    /// its PE is busy and revisited at `PeDone`). Conservatively cleared
+    /// only when the node starts; stale flags cost a no-op pop, never a
+    /// missed wake.
+    space_waiting: Vec<bool>,
 }
 
 impl<'a> ShardSim<'a> {
@@ -565,7 +819,33 @@ impl<'a> ShardSim<'a> {
             entry_push_base: 0,
             entry_eof_base: 0,
             entry_start_base: 0,
+            head_data: vec![0; n],
+            head_ctrl: vec![0; n],
+            touched_buf: Vec::new(),
+            wave_buf: Vec::new(),
+            wave_mask: vec![0; num_pes.div_ceil(64)],
+            rw_memo: vec![
+                RwMemo::default();
+                shared.compiled.as_ref().map_or(0, |ct| ct.num_method_slots)
+            ],
+            space_waiting: vec![false; n],
         }
+    }
+
+    /// Wave-membership test-and-set for the compiled dispatcher's O(1)
+    /// worklist dedup (the interpreter uses `Vec::contains`; same
+    /// predicate). Returns `true` when `pe` was not yet a member.
+    #[inline]
+    fn wave_test_set(&mut self, pe: usize) -> bool {
+        let (w, b) = (pe / 64, 1u64 << (pe % 64));
+        let newly = self.wave_mask[w] & b == 0;
+        self.wave_mask[w] |= b;
+        newly
+    }
+
+    #[inline]
+    fn wave_clear(&mut self, pe: usize) {
+        self.wave_mask[pe / 64] &= !(1u64 << (pe % 64));
     }
 
     #[inline]
@@ -707,9 +987,9 @@ impl<'a> ShardSim<'a> {
             // The firing may change the node's private state (e.g. a
             // feedback primer becoming ready), so re-plan it.
             self.mark_dirty(node);
-            let touched = self.route_timed(node, emitted);
+            let touched = self.route_any(node, emitted);
             self.record_untriggered_end(node);
-            self.dispatch_wave(touched);
+            self.dispatch_any(touched);
             self.end_entry(0.0, true);
         }
         for s in 0..self.shared.tables.sources.len() {
@@ -725,6 +1005,23 @@ impl<'a> ShardSim<'a> {
     /// `end = +inf`; the parallel engine calls it per synchronization
     /// window with the coordinator's conservative bound.
     pub(crate) fn run_window(&mut self, end: f64) -> f64 {
+        if self.shared.compiled.is_some() {
+            // Monomorphize the compiled loop on whether any observer
+            // (trace recorder or replay journal) is attached: the untraced
+            // instantiation compiles every recording branch out of the
+            // firing hot path.
+            if self.trace.is_some() || self.log.is_some() {
+                self.run_window_compiled::<true>(end)
+            } else {
+                self.run_window_compiled::<false>(end)
+            }
+        } else {
+            self.run_window_interp(end)
+        }
+    }
+
+    /// Interpreted event loop (the oracle path; see `run_window`).
+    fn run_window_interp(&mut self, end: f64) -> f64 {
         while let Some(ev) = self.events.pop() {
             if ev.t >= end {
                 // Past the window: put it back (re-insertion keeps its
@@ -741,6 +1038,44 @@ impl<'a> ShardSim<'a> {
                 EventKind::CreditReturn { chan } => self.handle_credit_return(chan),
             }
             self.end_entry(ev.t, false);
+        }
+        f64::INFINITY
+    }
+
+    /// Compiled event loop, monomorphized over observer presence (`OBS`).
+    /// With `OBS = false` (no trace, no journal — the sequential
+    /// non-record configuration) entry bracketing, journaling, and every
+    /// trace branch in the handlers fold away at compile time. The two
+    /// instantiations process events identically; `OBS` only gates code
+    /// that is dynamically dead in the configuration that selects it.
+    fn run_window_compiled<const OBS: bool>(&mut self, end: f64) -> f64 {
+        let ct = self
+            .shared
+            .compiled
+            .as_ref()
+            .expect("compiled loop without tables");
+        while let Some(ev) = self.events.pop() {
+            if ev.t >= end {
+                self.events.push_ord(ev.t, ev.seq, ev.payload);
+                return ev.t;
+            }
+            self.now = ev.t;
+            if OBS {
+                self.begin_entry();
+            }
+            match ev.payload {
+                EventKind::SourceEmit { source } => {
+                    self.handle_source_emit_compiled::<OBS>(source, ct);
+                }
+                EventKind::PeDone { pe } => {
+                    self.handle_pe_done_compiled::<OBS>(pe, ct);
+                }
+                EventKind::ChannelArrival { chan } => self.handle_channel_arrival(chan),
+                EventKind::CreditReturn { chan } => self.handle_credit_return(chan),
+            }
+            if OBS {
+                self.end_entry(ev.t, false);
+            }
         }
         f64::INFINITY
     }
@@ -851,9 +1186,9 @@ impl<'a> ShardSim<'a> {
         }
         self.record_untriggered_begin(s.node, s.method);
         let emitted = self.node_mut(s.node).fire_untriggered(s.method);
-        let touched = self.route_timed(s.node, emitted);
+        let touched = self.route_any(s.node, emitted);
         self.record_untriggered_end(s.node);
-        self.dispatch_wave(touched);
+        self.dispatch_any(touched);
 
         self.source_progress[source] += 1;
         let total = s.frame.area() * self.shared.frames as u64;
@@ -879,9 +1214,135 @@ impl<'a> ShardSim<'a> {
                 pe: pe as u32,
             });
         }
-        let mut touched = self.route_timed(inflight.node, inflight.emitted);
+        let mut touched = self.route_any(inflight.node, inflight.emitted);
         touched.push(pe);
-        self.dispatch_wave(touched);
+        self.dispatch_any(touched);
+    }
+
+    /// Compiled [`handle_source_emit`](Self::handle_source_emit): routing
+    /// and dispatch go straight to the monomorphized paths instead of
+    /// re-testing the backend per call.
+    fn handle_source_emit_compiled<const OBS: bool>(&mut self, source: usize, ct: &CompiledTables) {
+        let s = self.shared.tables.sources[source];
+        if source == 0 && self.source_progress[source].is_multiple_of(s.frame.area()) {
+            self.frame_start_times.push(self.now);
+        }
+        let full = self.shared.tables.routes[s.node][0]
+            .iter()
+            .any(|&(dn, dp)| match self.delayed_chan(dn, dp) {
+                Some(chan) => self.credits[chan as usize] <= 0,
+                None => self.node(dn).queues[dp].len() >= self.shared.cap_into[dn][dp],
+            });
+        if full {
+            self.violations += 1;
+        }
+        if OBS {
+            self.record_untriggered_begin(s.node, s.method);
+        }
+        let emitted = self.node_mut(s.node).fire_untriggered_fast(s.method);
+        let mut touched = std::mem::take(&mut self.touched_buf);
+        touched.clear();
+        self.route_compiled::<OBS>(s.node, emitted, ct, &mut touched);
+        if OBS {
+            self.record_untriggered_end(s.node);
+        }
+        self.dispatch_wave_compiled::<OBS>(&mut touched, ct);
+        self.touched_buf = touched;
+
+        self.source_progress[source] += 1;
+        let total = s.frame.area() * self.shared.frames as u64;
+        if self.source_progress[source] < total {
+            let period = 1.0 / (s.rate_hz * s.frame.area() as f64);
+            let t_next = self.source_progress[source] as f64 * period;
+            if OBS {
+                self.push_event(t_next, EventKind::SourceEmit { source });
+            } else {
+                self.events.push(t_next, EventKind::SourceEmit { source });
+            }
+        }
+    }
+
+    /// Compiled [`handle_pe_done`](Self::handle_pe_done); the own-PE push
+    /// stays unconditional (bypassing the wave mask) exactly like the
+    /// interpreter's `touched.push(pe)`.
+    fn handle_pe_done_compiled<const OBS: bool>(&mut self, pe: usize, ct: &CompiledTables) {
+        let inflight = self.pe_inflight[pe]
+            .take()
+            .expect("PeDone without inflight");
+        self.stats[pe].run += inflight.run_s;
+        self.stats[pe].read += inflight.read_s;
+        self.stats[pe].write += inflight.write_s;
+        self.node_busy[inflight.node] += inflight.run_s + inflight.read_s + inflight.write_s;
+        if OBS {
+            if let Some(trace) = self.trace.as_mut() {
+                trace.record(TraceEvent::FiringEnd {
+                    t: self.now,
+                    node: inflight.node as u32,
+                    pe: pe as u32,
+                });
+            }
+        }
+        let mut touched = std::mem::take(&mut self.touched_buf);
+        touched.clear();
+        self.route_compiled::<OBS>(inflight.node, inflight.emitted, ct, &mut touched);
+        touched.push(pe);
+        self.dispatch_wave_compiled::<OBS>(&mut touched, ct);
+        self.touched_buf = touched;
+    }
+
+    /// Route on whichever backend is active. The compiled path reuses the
+    /// recycled scratch vector; the interpreted path is untouched.
+    #[inline]
+    fn route_any(&mut self, from: usize, emitted: Vec<(usize, Item)>) -> Vec<usize> {
+        if let Some(ct) = self.shared.compiled.as_ref() {
+            let mut touched = std::mem::take(&mut self.touched_buf);
+            touched.clear();
+            self.route_compiled::<true>(from, emitted, ct, &mut touched);
+            touched
+        } else {
+            self.route_timed(from, emitted)
+        }
+    }
+
+    /// Dispatch a routed wave on whichever backend is active; the compiled
+    /// path hands the vector back to the routing scratch afterwards.
+    #[inline]
+    fn dispatch_any(&mut self, mut worklist: Vec<usize>) {
+        if let Some(ct) = self.shared.compiled.as_ref() {
+            self.dispatch_wave_compiled::<true>(&mut worklist, ct);
+            self.touched_buf = worklist;
+        } else {
+            self.dispatch_wave(worklist);
+        }
+    }
+
+    /// Dispatch a single-PE wave (arrival/credit events) on whichever
+    /// backend is active, allocation-free on the compiled path.
+    #[inline]
+    fn dispatch_pe(&mut self, pe: usize) {
+        if let Some(ct) = self.shared.compiled.as_ref() {
+            let mut wave = std::mem::take(&mut self.wave_buf);
+            wave.clear();
+            wave.push(pe);
+            self.dispatch_wave_compiled::<true>(&mut wave, ct);
+            self.wave_buf = wave;
+        } else {
+            self.dispatch_wave(vec![pe]);
+        }
+    }
+
+    /// Recompute the head-mask bit of one input port after its queue head
+    /// changed (a firing popped it). Compiled backend only.
+    #[inline]
+    fn refresh_head(&mut self, node: usize, port: usize) {
+        let bit = 1u64 << port;
+        self.head_data[node] &= !bit;
+        self.head_ctrl[node] &= !bit;
+        match self.node(node).queues[port].front() {
+            Some(Item::Window(_)) => self.head_data[node] |= bit,
+            Some(Item::Control(_)) => self.head_ctrl[node] |= bit,
+            None => {}
+        }
     }
 
     /// The delayed channel into `(dn, dp)`, if any. One load on the
@@ -952,6 +1413,15 @@ impl<'a> ShardSim<'a> {
             queue.push_back(item.clone());
             queue.len()
         };
+        if depth == 1 && self.shared.compiled.is_some() {
+            // The item became the queue head; update the planning mask.
+            let bit = 1u64 << dp;
+            if matches!(item, Item::Window(_)) {
+                self.head_data[dn] |= bit;
+            } else {
+                self.head_ctrl[dn] |= bit;
+            }
+        }
         if depth > self.node_max_queue[dn] {
             self.node_max_queue[dn] = depth;
         }
@@ -973,7 +1443,7 @@ impl<'a> ShardSim<'a> {
             }
         }
         self.mark_dirty(dn);
-        self.dispatch_wave(vec![self.shared.pe_of_node[dn]]);
+        self.dispatch_pe(self.shared.pe_of_node[dn]);
     }
 
     /// A credit comes home: the channel's producer may have been blocked on
@@ -981,7 +1451,7 @@ impl<'a> ShardSim<'a> {
     fn handle_credit_return(&mut self, chan: u32) {
         self.credits[chan as usize] += 1;
         let src = self.shared.channels[chan as usize].src;
-        self.dispatch_wave(vec![self.shared.pe_of_node[src]]);
+        self.dispatch_pe(self.shared.pe_of_node[src]);
     }
 
     /// After a firing consumed one item from each trigger port, schedule a
@@ -1288,6 +1758,362 @@ impl<'a> ShardSim<'a> {
             }
         }
         true
+    }
+
+    // ---- Direct-threaded (compiled) execution paths ----------------------
+    //
+    // Each method below mirrors its interpreted counterpart statement for
+    // statement, with the interpreter's per-event lookups replaced by the
+    // pre-resolved `CompiledTables`. The mirrored order of side effects
+    // (trace records, journal pushes, counter updates) is what keeps the
+    // fingerprints and traces bitwise identical; the differential suite
+    // pins it.
+
+    /// Compiled [`route_timed`](Self::route_timed): destinations come from
+    /// the fused [`RouteDest`] table, touched PEs accumulate into recycled
+    /// scratch, head masks are maintained at each push, and the final
+    /// destination of a fan-out receives the item by move instead of
+    /// clone+drop.
+    fn route_compiled<const OBS: bool>(
+        &mut self,
+        from: usize,
+        mut emitted: Vec<(usize, Item)>,
+        ct: &CompiledTables,
+        touched: &mut Vec<usize>,
+    ) {
+        for (port, item) in emitted.drain(..) {
+            let tok = match &item {
+                Item::Control(t) => Some(*t),
+                Item::Window(_) => None,
+            };
+            if let Some(ControlToken::Custom(_)) = tok {
+                self.custom_token_emissions[from] += 1;
+            }
+            let dests = &ct.dests[from][port];
+            let n_dests = dests.len();
+            if n_dests == 0 {
+                continue;
+            }
+            let mut item = Some(item);
+            for (di, &d) in dests.iter().enumerate() {
+                let it = if di + 1 == n_dests {
+                    item.take().expect("item moved early")
+                } else {
+                    item.as_ref().expect("item moved early").clone()
+                };
+                if d.chan != u32::MAX {
+                    self.delayed_send(d.chan, it);
+                    continue;
+                }
+                let (dn, dp) = (d.dn as usize, d.dp as usize);
+                if d.sink {
+                    if let Some(ControlToken::EndOfFrame) = tok {
+                        self.sink_eof_times.push(self.now);
+                    }
+                }
+                let depth = {
+                    let queue = &mut self.node_mut(dn).queues[dp];
+                    queue.push_back(it);
+                    queue.len()
+                };
+                if depth == 1 {
+                    let bit = 1u64 << dp;
+                    if tok.is_none() {
+                        self.head_data[dn] |= bit;
+                    } else {
+                        self.head_ctrl[dn] |= bit;
+                    }
+                }
+                if depth > self.node_max_queue[dn] {
+                    self.node_max_queue[dn] = depth;
+                }
+                if OBS {
+                    if let Some(trace) = self.trace.as_mut() {
+                        trace.record(TraceEvent::QueueDepth {
+                            t: self.now,
+                            node: dn as u32,
+                            port: dp as u32,
+                            depth: depth as u32,
+                        });
+                        if let Some(token) = tok {
+                            trace.record(TraceEvent::Token {
+                                t: self.now,
+                                node: dn as u32,
+                                port: dp as u32,
+                                token,
+                            });
+                        }
+                    }
+                }
+                self.mark_dirty(dn);
+                // Busy PEs are filtered here instead of at pop time: a PE
+                // in flight cannot come free within this wave (only
+                // `handle_pe_done` clears it, one per event), so skipping
+                // the push elides a guaranteed no-op pop without changing
+                // the order of the pops that do work.
+                let pe = self.shared.pe_of_node[dn];
+                if self.pe_inflight[pe].is_none() && self.wave_test_set(pe) {
+                    touched.push(pe);
+                }
+            }
+        }
+        self.node_mut(from).recycle_out_buf(emitted);
+    }
+
+    /// Compiled [`dispatch_wave`](Self::dispatch_wave) over a borrowed
+    /// worklist (the caller recycles the vector).
+    fn dispatch_wave_compiled<const OBS: bool>(
+        &mut self,
+        worklist: &mut Vec<usize>,
+        ct: &CompiledTables,
+    ) {
+        while let Some(pe) = worklist.pop() {
+            self.wave_clear(pe);
+            if self.pe_inflight[pe].is_some() {
+                continue;
+            }
+            if let Some(node) = self.try_start_compiled::<OBS>(pe, ct) {
+                for i in 0..self.shared.upstream[node].len() {
+                    let up = self.shared.upstream[node][i];
+                    // An upstream wake's only new information is the space
+                    // this firing's consumption freed, so the untraced
+                    // dispatcher wakes only `space_waiting` producers (see
+                    // the field's invariant). The traced instantiation
+                    // keeps the interpreter's exhaustive pushes: those
+                    // extra pops are outcome-free but *observable*, as
+                    // each may record a stall transition.
+                    if OBS || self.space_waiting[up] {
+                        let up_pe = self.shared.pe_of_node[up];
+                        // Same busy-at-push filter as `route_compiled`:
+                        // the started PEs only accumulate within a wave,
+                        // so a busy upstream PE would be skipped at its
+                        // pop anyway.
+                        if self.pe_inflight[up_pe].is_none() && self.wave_test_set(up_pe) {
+                            worklist.push(up_pe);
+                        }
+                    }
+                }
+            } else if OBS && self.trace.is_some() {
+                self.record_stall(pe);
+            }
+        }
+    }
+
+    /// Flattened [`downstream_space`](Self::downstream_space) over the
+    /// method's precomputed check list (identical scan order).
+    #[inline]
+    fn space_ok(&self, checks: &[SpaceCheck]) -> bool {
+        for c in checks {
+            match *c {
+                SpaceCheck::Credit { chan } => {
+                    if self.credits[chan as usize] < 2 {
+                        return false;
+                    }
+                }
+                SpaceCheck::Queue { dn, dp, cap } => {
+                    if self.node(dn as usize).queues[dp as usize].len() + 2 > cap as usize {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Compiled [`return_credits`](Self::return_credits): the fired
+    /// method's delayed trigger channels were resolved at build time, so
+    /// this neither allocates nor searches `delayed_in_ports`.
+    fn return_credits_compiled(&mut self, chans: &[u32]) {
+        for &chan in chans {
+            let ci = chan as usize;
+            let c = self.shared.channels[ci];
+            let seq = self.credit_seq[ci];
+            self.credit_seq[ci] += 1;
+            let ord = band1_ord(2 * chan as u64 + 1, seq);
+            let t = self.now + c.latency_s;
+            let src_shard = self.shard_of_pe[self.shared.pe_of_node[c.src]];
+            if src_shard == self.shard {
+                self.push_event_ord(t, ord, EventKind::CreditReturn { chan });
+            } else {
+                self.journal_push(t, ord, src_shard as u32);
+                self.min_out = self.min_out.min(t);
+                let links = self.links.expect("cross-shard credit without links");
+                links[src_shard].lock().unwrap().push(OutMsg {
+                    t,
+                    ord,
+                    chan,
+                    kind: MsgKind::Credit,
+                });
+            }
+        }
+    }
+
+    /// Compiled [`try_start`](Self::try_start): planning is a mask test
+    /// plus the `ready()` call, firing runs the method's direct-threaded
+    /// routine (pops, read-word accounting, and the behavior call fused),
+    /// and the space/credit/cost lookups hit the precomputed tables.
+    fn try_start_compiled<const OBS: bool>(
+        &mut self,
+        pe: usize,
+        ct: &CompiledTables,
+    ) -> Option<usize> {
+        if self.dirty_count[pe] == 0 {
+            return None;
+        }
+        let len = self.shared.residents[pe].len();
+        // Round-robin over the residents starting at `rr[pe]`, with the
+        // wraparound as a compare instead of the interpreter's modulo.
+        let mut idx = self.rr[pe];
+        for _ in 0..len {
+            let cur = idx;
+            idx += 1;
+            if idx == len {
+                idx = 0;
+            }
+            let node = self.shared.residents[pe][cur];
+            if !self.dirty[node] {
+                continue;
+            }
+            let tn = &ct.program.nodes[node];
+            #[cfg(debug_assertions)]
+            {
+                let n = self.node(node);
+                debug_assert_eq!(
+                    bp_codegen::head_masks(&n.queues),
+                    (self.head_data[node], self.head_ctrl[node]),
+                    "stale head masks for node {node}"
+                );
+            }
+            let action = {
+                let n = self.node(node);
+                tn.plan(
+                    self.head_data[node],
+                    self.head_ctrl[node],
+                    &n.queues,
+                    n.behavior.as_ref(),
+                )
+            };
+            let Some(action) = action else {
+                self.clear_dirty(node);
+                continue;
+            };
+            let mi = match action {
+                bp_codegen::PlannedAction::Fire { method }
+                | bp_codegen::PlannedAction::Forward { method, .. } => method,
+            };
+            if !self.space_ok(&ct.space[node][mi]) {
+                // Plannable but space-blocked: only downstream consumption
+                // can unblock it, so flag it for the consumers' upstream
+                // wakes (the node stays dirty, exactly like the
+                // interpreter's declined plan).
+                self.space_waiting[node] = true;
+                continue;
+            }
+            let tm = &tn.methods[mi];
+            let (emitted, read_words, cycles, declared, run_s) = match action {
+                bp_codegen::PlannedAction::Fire { .. } => {
+                    let (emitted, res) = self.node_mut(node).fire_threaded(&tm.fire);
+                    let declared = tm.cost_cycles;
+                    let cycles = res.actual_cycles.unwrap_or(declared);
+                    // Equal cycle counts reuse the build-time quotient
+                    // (identical operands ⇒ identical bits); a
+                    // data-dependent count divides live like the interpreter.
+                    let run_s = if cycles == declared {
+                        ct.run_s[node][mi]
+                    } else {
+                        cycles as f64 / self.shared.machine.pe_clock_hz
+                    };
+                    (emitted, res.read_words, cycles, declared, run_s)
+                }
+                bp_codegen::PlannedAction::Forward { token, .. } => {
+                    let emitted = self.node_mut(node).forward_threaded(tm, token);
+                    (emitted, 0, 1, 1, ct.forward_run_s)
+                }
+            };
+            for &p in &tm.trigger_ports {
+                self.refresh_head(node, p);
+            }
+            // Firing consumed inputs and may have changed private state;
+            // the node must be re-planned before it can be skipped again.
+            self.mark_dirty(node);
+            if self.shared.any_delayed {
+                self.return_credits_compiled(&ct.credit_chans[node][mi]);
+            }
+            if cycles > declared {
+                self.budget_overruns[node] += 1;
+            }
+            let write_words: u64 = emitted.iter().map(|(_, i)| i.words()).sum();
+            let m = &self.shared.machine;
+            // Memoized word-cost conversions: a hit replays the quotient
+            // the interpreter's expression produced for the same operands
+            // (bitwise identical by IEEE-754 determinism), a miss runs the
+            // expression live and refills the slot.
+            let memo = &mut self.rw_memo[(ct.method_base[node] + mi as u32) as usize];
+            let read_s = if memo.read_words == read_words {
+                memo.read_s
+            } else {
+                let v = read_words as f64 * m.read_cost_per_word / m.pe_clock_hz;
+                memo.read_words = read_words;
+                memo.read_s = v;
+                v
+            };
+            let write_s = if memo.write_words == write_words {
+                memo.write_s
+            } else {
+                let v = write_words as f64 * m.write_cost_per_word / m.pe_clock_hz;
+                memo.write_words = write_words;
+                memo.write_s = v;
+                v
+            };
+            let dt = run_s + read_s + write_s;
+            self.pe_inflight[pe] = Some(Inflight {
+                node,
+                emitted,
+                run_s,
+                read_s,
+                write_s,
+            });
+            self.rr[pe] = idx;
+            self.space_waiting[node] = false;
+            if OBS {
+                self.pe_stall[pe] = None;
+                if self.trace.is_some() {
+                    let t = self.now;
+                    let depths: Vec<(u32, u32)> = {
+                        let n = self.node(node);
+                        tm.trigger_ports
+                            .iter()
+                            .map(|&port| (port as u32, n.queues[port].len() as u32))
+                            .collect()
+                    };
+                    if let Some(trace) = self.trace.as_mut() {
+                        trace.record(TraceEvent::FiringBegin {
+                            t,
+                            node: node as u32,
+                            method: mi as u32,
+                            pe: pe as u32,
+                            cycles,
+                        });
+                        for (port, depth) in depths {
+                            trace.record(TraceEvent::QueueDepth {
+                                t,
+                                node: node as u32,
+                                port,
+                                depth,
+                            });
+                        }
+                    }
+                }
+            }
+            let t_done = self.now + dt;
+            if OBS {
+                self.push_event(t_done, EventKind::PeDone { pe });
+            } else {
+                self.events.push(t_done, EventKind::PeDone { pe });
+            }
+            return Some(node);
+        }
+        None
     }
 }
 

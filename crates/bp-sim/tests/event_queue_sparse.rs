@@ -124,6 +124,102 @@ fn band1_push_ord_keys_sort_identically_across_queues() {
     }
 }
 
+/// Long sparse/far-future run crossing several self-tuning checkpoints:
+/// the width must widen from the mis-seeded 1 ns toward the observed
+/// multi-microsecond spacing, and every pop across every rebuild must
+/// still match the heap bit-for-bit.
+#[test]
+fn self_tuning_retunes_on_sparse_mix_without_reordering() {
+    const SCALES: [f64; 4] = [0.5, 100.0, 5_000.0, 3_000_000.0];
+    let mut rng = Rng64::seed_from_u64(0x7e7e_5eed);
+    let mut bucket = BucketQueue::new(1e-9);
+    let mut heap = HeapQueue::new();
+    let mut now = 0.0f64;
+    let mut payload = 0u32;
+    // Steady-state churn: one push and one pop per step, >> the 4096-pop
+    // retune period, with deltas drawn across all four sparsity scales.
+    for step in 0..20_000 {
+        let scale = SCALES[rng.gen_index(SCALES.len())];
+        let t = now + rng.gen_range_f64(0.0, scale) * 1e-9;
+        payload += 1;
+        bucket.push(t, payload);
+        heap.push(t, payload);
+        match (bucket.pop(), heap.pop()) {
+            (Some(b), Some(h)) => {
+                assert_eq!(
+                    (b.t.to_bits(), b.seq, b.payload),
+                    (h.t.to_bits(), h.seq, h.payload),
+                    "pop diverged at step {step} (after {} retunes)",
+                    bucket.retunes()
+                );
+                now = b.t;
+            }
+            (b, h) => panic!("pops diverged at step {step}: {b:?} vs {h:?}"),
+        }
+    }
+    assert!(
+        bucket.retunes() >= 1,
+        "20k sparse pops at a 1 ns seed width never retuned"
+    );
+    assert!(
+        bucket.quantum() > 1e-9,
+        "width never widened from the mis-seeded 1 ns"
+    );
+    assert_identical_drain(bucket, heap, "post-retune drain");
+}
+
+/// Workload shift: a sparse phase stretches the width out by orders of
+/// magnitude, then a dense phase must pull it back — with both
+/// transitions popping identically to the heap.
+#[test]
+fn self_tuning_narrows_back_after_dense_shift() {
+    let mut bucket = BucketQueue::new(1e-6);
+    let mut heap = HeapQueue::new();
+    let mut now = 0.0f64;
+    let pump = |bucket: &mut BucketQueue<u32>,
+                heap: &mut HeapQueue<u32>,
+                now: &mut f64,
+                dt: f64,
+                steps: u32,
+                what: &str| {
+        for i in 0..steps {
+            bucket.push(*now + dt, i);
+            heap.push(*now + dt, i);
+            let (b, h) = (bucket.pop().unwrap(), heap.pop().unwrap());
+            assert_eq!(
+                (b.t.to_bits(), b.seq, b.payload),
+                (h.t.to_bits(), h.seq, h.payload),
+                "{what}: pop diverged at step {i}"
+            );
+            *now = b.t;
+        }
+    };
+    pump(
+        &mut bucket,
+        &mut heap,
+        &mut now,
+        4e-3,
+        10_000,
+        "sparse phase",
+    );
+    let widened = bucket.quantum();
+    assert!(widened > 1e-4, "sparse phase did not widen the buckets");
+    pump(
+        &mut bucket,
+        &mut heap,
+        &mut now,
+        2e-7,
+        10_000,
+        "dense phase",
+    );
+    assert!(
+        bucket.quantum() < widened / 2.0,
+        "dense phase did not narrow the width back (still {:e})",
+        bucket.quantum()
+    );
+    assert_identical_drain(bucket, heap, "post-shift drain");
+}
+
 /// Windowed re-insertion (the parallel engine pops an event past the
 /// window end and re-pushes it with `push_ord` under its original key)
 /// must be loss- and order-preserving even when the re-pushed event sits

@@ -24,6 +24,7 @@ struct Args {
     dot: Option<String>,
     trace: Option<String>,
     comm: String,
+    backend: Backend,
     capacity: Option<usize>,
     explain_deadlock: bool,
     quiet: bool,
@@ -35,12 +36,16 @@ fn usage() -> ! {
          \x20          [--width N] [--height N] [--rate HZ] [--frames N]\n\
          \x20          [--policy trim|pad-zero|pad-mirror] [--mapping greedy|packed|one-to-one]\n\
          \x20          [--dot FILE] [--trace FILE] [--comm-model SPEC]\n\
+         \x20          [--backend auto|interpreted|compiled]\n\
          \x20          [--capacity N] [--explain-deadlock] [--quiet]\n\
          \x20  --trace FILE  record a deterministic event trace and write it as\n\
          \x20                Chrome trace-event JSON (open in https://ui.perfetto.dev)\n\
          \x20  --comm-model  inter-PE communication delay (latencies in PE cycles):\n\
          \x20                zero (default) | uniform:LAT[:PER_WORD]\n\
          \x20                | grid:BASE:PER_HOP[:PER_WORD]\n\
+         \x20  --backend     execution backend: auto (default; compiled in\n\
+         \x20                release builds) | interpreted | compiled\n\
+         \x20                (direct-threaded; results are bitwise identical)\n\
          \x20  --capacity N  pin every channel to N items, disabling the\n\
          \x20                feedback-aware capacity derivation\n\
          \x20  --explain-deadlock  on a capacity deadlock, print the structured\n\
@@ -62,6 +67,7 @@ fn parse_args() -> Args {
         dot: None,
         trace: None,
         comm: "zero".to_string(),
+        backend: Backend::Auto,
         capacity: None,
         explain_deadlock: false,
         quiet: false,
@@ -105,6 +111,17 @@ fn parse_args() -> Args {
             "--dot" => args.dot = Some(value("--dot")),
             "--trace" => args.trace = Some(value("--trace")),
             "--comm-model" => args.comm = value("--comm-model"),
+            "--backend" => {
+                args.backend = match value("--backend").as_str() {
+                    "auto" => Backend::Auto,
+                    "interpreted" => Backend::Interpreted,
+                    "compiled" => Backend::Compiled,
+                    other => {
+                        eprintln!("unknown backend '{other}'");
+                        usage()
+                    }
+                }
+            }
             "--capacity" => {
                 args.capacity = Some(value("--capacity").parse().unwrap_or_else(|_| usage()))
             }
@@ -212,7 +229,8 @@ fn main() -> ExitCode {
     }
     let mut config = SimConfig::new(args.frames)
         .with_machine(opts.machine)
-        .with_comm(comm);
+        .with_comm(comm)
+        .with_backend(args.backend);
     if let Some(cap) = args.capacity {
         config = config.with_channel_capacity(cap);
     }

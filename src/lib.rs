@@ -56,7 +56,7 @@ pub mod prelude {
         Margins, PadMode, SinkHandle,
     };
     pub use bp_sim::{
-        chrome_trace_json, profile_node_weights, validate_json, CapacityBump, DeadlockHop,
+        chrome_trace_json, profile_node_weights, validate_json, Backend, CapacityBump, DeadlockHop,
         DeadlockReport, FunctionalExecutor, ParallelRunStats, ParallelTimedSimulator, SimConfig,
         SimOutcome, SimReport, StallCause, TimedSimulator, Trace, TraceOptions,
     };

@@ -1,0 +1,220 @@
+//! Fingerprint-differential suite pinning the compiled (direct-threaded)
+//! backend to the interpreted oracle (DESIGN.md §13).
+//!
+//! For every example application × comm model, the sequential interpreted
+//! engine is the reference; the compiled backend — sequential and parallel
+//! at 1, 2, 4, and 8 threads — must reproduce its `SimReport::fingerprint()`
+//! and sink item streams bit for bit. Traces and structured
+//! `Deadlocked(DeadlockReport)` outcomes are held to the same standard:
+//! the backend switch may change *how fast* the simulator runs, never what
+//! it computes, when, or how it diagnoses a wedge.
+
+use bp_apps::{apps, App, SLOW, SMALL};
+use bp_compiler::{compile, CompileOptions};
+use bp_core::{CommModel, Dim2, Item};
+use bp_sim::{
+    Backend, ParallelTimedSimulator, SimConfig, SimOutcome, SimReport, TimedSimulator, TraceOptions,
+};
+
+const FRAMES: u32 = 2;
+
+/// Every example application, by name (kept in sync with
+/// `tests/determinism.rs` and `tests/comm_delay.rs`).
+const EXAMPLE_APPS: &[&str] = &[
+    "fig1b",
+    "bayer",
+    "histogram",
+    "parallel_buffer",
+    "multi_conv",
+    "temporal_iir",
+    "fir_radio",
+    "edge_detect",
+    "analytics",
+    "stereo_diff",
+    "camera_bank",
+];
+
+fn build_example(name: &str) -> App {
+    match name {
+        "fig1b" => apps::fig1b(SMALL, SLOW),
+        "bayer" => apps::bayer(SMALL, SLOW),
+        "histogram" => apps::histogram_app(SMALL, SLOW, 32),
+        "parallel_buffer" => apps::parallel_buffer_test(Dim2::new(64, 12), 10.0),
+        "multi_conv" => apps::multi_conv(SMALL, SLOW, 3),
+        "temporal_iir" => apps::temporal_iir(SMALL, SLOW),
+        "fir_radio" => apps::fir_radio(72, 100.0),
+        "edge_detect" => apps::edge_detect(SMALL, SLOW, 0.5),
+        "analytics" => apps::analytics(SMALL, SLOW),
+        "stereo_diff" => apps::stereo_diff(SMALL, SLOW),
+        "camera_bank" => apps::camera_bank(3, SMALL, SLOW),
+        _ => unreachable!("unknown app {name}"),
+    }
+}
+
+/// The three model shapes of `tests/comm_delay.rs`: direct delivery, a
+/// uniform 64-cycle latency, and a distance-dependent grid.
+fn models() -> Vec<(&'static str, CommModel)> {
+    vec![
+        ("zero", CommModel::zero()),
+        ("uniform", CommModel::uniform(64e-9, 1e-9)),
+        ("grid", CommModel::grid(32e-9, 8e-9, 1e-9)),
+    ]
+}
+
+fn config_with(comm: &CommModel, backend: Backend) -> SimConfig {
+    SimConfig::new(FRAMES)
+        .with_comm(comm.clone())
+        .with_backend(backend)
+}
+
+/// Run `name` under `comm` on the given backend — sequentially
+/// (`threads = None`) or on the parallel engine — returning the report
+/// result plus the sink item streams.
+fn run(
+    name: &str,
+    comm: &CommModel,
+    backend: Backend,
+    threads: Option<usize>,
+) -> (bp_core::Result<SimReport>, Vec<Vec<Item>>) {
+    let app = build_example(name);
+    let compiled = compile(&app.graph, &CompileOptions::default()).expect("compile");
+    let config = config_with(comm, backend);
+    let out = match threads {
+        None => TimedSimulator::new(&compiled.graph, &compiled.mapping, config)
+            .expect("instantiate")
+            .run(),
+        Some(t) => ParallelTimedSimulator::new(&compiled.graph, &compiled.mapping, config, t)
+            .expect("instantiate")
+            .run(),
+    };
+    let items = app.sinks.iter().map(|(_, h)| h.items()).collect();
+    (out, items)
+}
+
+/// The tentpole guarantee: for every app × comm model, the compiled
+/// backend's report fingerprint and sink items equal the interpreted
+/// oracle's — sequentially and at 1, 2, 4, and 8 worker threads.
+#[test]
+fn compiled_matches_interpreted_everywhere() {
+    for &name in EXAMPLE_APPS {
+        for (mname, comm) in models() {
+            let (oracle, oracle_items) = run(name, &comm, Backend::Interpreted, None);
+            let check = |label: &str, got: &bp_core::Result<SimReport>, items: &Vec<Vec<Item>>| {
+                match (&oracle, got) {
+                    (Ok(o), Ok(c)) => assert_eq!(
+                        o.fingerprint(),
+                        c.fingerprint(),
+                        "{name} under {mname} ({label}): compiled fingerprint diverged"
+                    ),
+                    (Err(oe), Err(ce)) => assert_eq!(
+                        oe.to_string(),
+                        ce.to_string(),
+                        "{name} under {mname} ({label}): error diverged"
+                    ),
+                    _ => panic!(
+                        "{name} under {mname} ({label}): outcomes diverged: \
+                         oracle={oracle:?} compiled={got:?}"
+                    ),
+                }
+                assert_eq!(
+                    &oracle_items, items,
+                    "{name} under {mname} ({label}): sink items diverged"
+                );
+            };
+            let (seq, seq_items) = run(name, &comm, Backend::Compiled, None);
+            check("sequential", &seq, &seq_items);
+            for threads in [1usize, 2, 4, 8] {
+                let (par, par_items) = run(name, &comm, Backend::Compiled, Some(threads));
+                check(&format!("{threads} threads"), &par, &par_items);
+            }
+        }
+    }
+}
+
+/// Trace equality: the compiled backend records the identical event
+/// stream — firings, queue depths, tokens, comm events, and stall
+/// attributions — not just the same aggregate report.
+#[test]
+fn compiled_traces_are_bitwise_identical() {
+    for &name in ["fig1b", "temporal_iir", "camera_bank"].iter() {
+        for (mname, comm) in models() {
+            let trace_of = |backend: Backend| {
+                let app = build_example(name);
+                let compiled = compile(&app.graph, &CompileOptions::default()).expect("compile");
+                let config = config_with(&comm, backend).with_trace(TraceOptions::default());
+                let (report, trace) =
+                    TimedSimulator::new(&compiled.graph, &compiled.mapping, config)
+                        .expect("instantiate")
+                        .run_with_trace()
+                        .expect("runs");
+                (report.fingerprint(), trace.expect("trace recorded"))
+            };
+            let (ofp, otrace) = trace_of(Backend::Interpreted);
+            let (cfp, ctrace) = trace_of(Backend::Compiled);
+            assert_eq!(ofp, cfp, "{name} under {mname}: fingerprint diverged");
+            assert_eq!(
+                otrace.dropped, ctrace.dropped,
+                "{name} under {mname}: trace drop counts diverged"
+            );
+            assert_eq!(
+                otrace.events, ctrace.events,
+                "{name} under {mname}: trace event streams diverged"
+            );
+        }
+    }
+}
+
+/// Structured deadlock outcomes survive the backend switch: pinning
+/// `temporal_iir`'s capacities to a uniform 64 (disabling the
+/// feedback-aware back-edge sizing) wedges the loop, and the compiled
+/// backend must assemble the identical `DeadlockReport` — wait-for cycle,
+/// occupancies, and capacity-bump suggestion included.
+#[test]
+fn compiled_deadlock_reports_are_identical() {
+    let comm = CommModel::uniform(64e-9, 1e-9);
+    let outcome_of = |backend: Backend, threads: Option<usize>| -> SimOutcome {
+        let app = build_example("temporal_iir");
+        let compiled = compile(&app.graph, &CompileOptions::default()).expect("compile");
+        let config = config_with(&comm, backend).with_channel_capacity(64);
+        match threads {
+            None => TimedSimulator::new(&compiled.graph, &compiled.mapping, config)
+                .expect("instantiate")
+                .run_outcome(),
+            Some(t) => ParallelTimedSimulator::new(&compiled.graph, &compiled.mapping, config, t)
+                .expect("instantiate")
+                .run_outcome(),
+        }
+    };
+    let SimOutcome::Deadlocked(oracle) = outcome_of(Backend::Interpreted, None) else {
+        panic!("temporal_iir must capacity-deadlock when pinned to 64");
+    };
+    for threads in [None, Some(2), Some(8)] {
+        let SimOutcome::Deadlocked(got) = outcome_of(Backend::Compiled, threads) else {
+            panic!("compiled backend did not deadlock ({threads:?})");
+        };
+        assert_eq!(
+            oracle, got,
+            "DeadlockReport diverged on the compiled backend ({threads:?})"
+        );
+    }
+}
+
+/// Feedback capacities: with the derived (feedback-aware) plan,
+/// `temporal_iir` completes identically on both backends — the primed
+/// loop population, credit flow, and startup const firings all lower
+/// correctly.
+#[test]
+fn compiled_feedback_capacities_complete_identically() {
+    for (mname, comm) in models() {
+        let (oracle, oracle_items) = run("temporal_iir", &comm, Backend::Interpreted, None);
+        let (got, got_items) = run("temporal_iir", &comm, Backend::Compiled, None);
+        let o = oracle.expect("temporal_iir completes under derived capacities");
+        let c = got.expect("compiled temporal_iir completes");
+        assert_eq!(
+            o.fingerprint(),
+            c.fingerprint(),
+            "temporal_iir under {mname}: fingerprint diverged"
+        );
+        assert_eq!(oracle_items, got_items, "temporal_iir under {mname}: items");
+    }
+}
